@@ -1,0 +1,76 @@
+// Ablation bench (DESIGN.md Sec. 4): how defender strength and candidate
+// ordering change what Algorithm 1 can salvage. This quantifies the
+// soundness boundary the paper leaves implicit — against a complete
+// single-stuck-at test set, only redundant gates are expendable.
+#include <iomanip>
+#include <iostream>
+
+#include "core/report.hpp"
+
+int main() {
+  using namespace tz;
+  std::cout << "=== Ablation: defender strength vs salvaged gates ===\n";
+  std::cout << std::left << std::setw(28) << "defender configuration"
+            << " | circuit |  C  | Eg | dP(uW) | dA(GE)\n";
+  struct Config {
+    const char* name;
+    TestGenOptions tg;
+  };
+  std::vector<Config> configs;
+  {
+    Config c{"budgeted ATPG (paper model)", FlowOptions::atpg_only_defender()};
+    configs.push_back(c);
+  }
+  {
+    Config c{"+ random validation", FlowOptions::atpg_only_defender()};
+    c.tg.with_random_validation = true;
+    configs.push_back(c);
+  }
+  {
+    Config c{"+ walking bits", FlowOptions::atpg_only_defender()};
+    c.tg.with_random_validation = true;
+    c.tg.with_walking = true;
+    configs.push_back(c);
+  }
+  {
+    Config c{"full-coverage ATPG", FlowOptions::atpg_only_defender()};
+    c.tg.coverage_target = 1.0;
+    c.tg.max_patterns = 100000;
+    c.tg.random_patterns = 256;
+    configs.push_back(c);
+  }
+  for (const char* name : {"c432", "c880"}) {
+    for (const Config& cfg : configs) {
+      FlowOptions opt;
+      opt.pth = spec_for(name).pth;
+      opt.counter_bits = spec_for(name).counter_bits;
+      opt.testgen = cfg.tg;
+      const FlowResult r = run_trojanzero_flow(name, opt);
+      std::cout << std::left << std::setw(28) << cfg.name << " | "
+                << std::setw(7) << name << " | " << std::setw(3)
+                << r.salvage.candidates << " | " << std::setw(2)
+                << r.salvage.expendable_gates << " | " << std::fixed
+                << std::setprecision(2) << std::setw(6)
+                << r.salvage.delta_power_uw() << " | "
+                << r.salvage.delta_area_ge() << "\n";
+    }
+  }
+
+  std::cout << "\n=== Ablation: candidate visit order (c3540) ===\n";
+  for (auto order : {SalvageOptions::Order::ByProbability,
+                     SalvageOptions::Order::ByLeakage}) {
+    FlowOptions opt;
+    opt.pth = spec_for("c3540").pth;
+    opt.counter_bits = spec_for("c3540").counter_bits;
+    opt.order = order;
+    const FlowResult r = run_trojanzero_flow("c3540", opt);
+    std::cout << (order == SalvageOptions::Order::ByProbability
+                      ? "most-certain-first (paper)"
+                      : "highest-leakage-first     ")
+              << " : Eg = " << r.salvage.expendable_gates << ", dP = "
+              << std::fixed << std::setprecision(2)
+              << r.salvage.delta_power_uw() << " uW, dA = "
+              << r.salvage.delta_area_ge() << " GE\n";
+  }
+  return 0;
+}

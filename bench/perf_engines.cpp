@@ -1,0 +1,103 @@
+// google-benchmark microbenchmarks for the engine kernels: bit-parallel
+// simulation, signal probability, fault simulation, PODEM, SAT equivalence
+// and the two TrojanZero algorithms.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <string>
+
+#include "atpg/test_set.hpp"
+#include "core/report.hpp"
+#include "gen/iscas.hpp"
+#include "prob/signal_prob.hpp"
+#include "sat/equivalence.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+const tz::Netlist& circuit(const std::string& name) {
+  static std::map<std::string, tz::Netlist> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    it = cache.emplace(name, tz::make_benchmark(name)).first;
+  }
+  return it->second;
+}
+
+void BM_BitSimulator(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c3540");
+  const tz::PatternSet ps =
+      tz::random_patterns(nl.inputs().size(), state.range(0), 1);
+  tz::BitSimulator sim(nl);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.outputs(ps));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BitSimulator)->Arg(64)->Arg(1024)->Arg(8192);
+
+void BM_SignalProb(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c3540");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::SignalProb(nl));
+  }
+}
+BENCHMARK(BM_SignalProb);
+
+void BM_MonteCarloProb(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c3540");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::monte_carlo_p1(nl, state.range(0), 7));
+  }
+}
+BENCHMARK(BM_MonteCarloProb)->Arg(1024)->Arg(16384);
+
+void BM_FaultSimulation(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c880");
+  const auto faults = tz::collapse_faults(nl, tz::fault_universe(nl));
+  const tz::PatternSet ps = tz::random_patterns(nl.inputs().size(), 64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::fault_simulate(nl, faults, ps));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+}
+BENCHMARK(BM_FaultSimulation);
+
+void BM_PodemPerFault(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c880");
+  const auto faults = tz::fault_universe(nl);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::podem(nl, faults[i % faults.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_PodemPerFault);
+
+void BM_AtpgFlow(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c432");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::generate_atpg_tests(nl));
+  }
+}
+BENCHMARK(BM_AtpgFlow)->Unit(benchmark::kMillisecond);
+
+void BM_SatEquivalence(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c880");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::sat::check_equivalence(nl, nl));
+  }
+  state.SetLabel("self-miter UNSAT");
+}
+BENCHMARK(BM_SatEquivalence)->Unit(benchmark::kMillisecond);
+
+void BM_FullTrojanZeroFlow(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tz::run_trojanzero_flow("c432"));
+  }
+}
+BENCHMARK(BM_FullTrojanZeroFlow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

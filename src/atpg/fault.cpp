@@ -1,0 +1,39 @@
+#include "atpg/fault.hpp"
+
+namespace tz {
+
+std::string to_string(const Netlist& nl, const Fault& f) {
+  return nl.node(f.node).name +
+         (f.value == StuckAt::Zero ? "/sa0" : "/sa1");
+}
+
+std::vector<Fault> fault_universe(const Netlist& nl) {
+  std::vector<Fault> faults;
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    const GateType t = nl.node(id).type;
+    if (is_const(t) || is_sequential(t)) continue;
+    faults.push_back({id, StuckAt::Zero});
+    faults.push_back({id, StuckAt::One});
+  }
+  return faults;
+}
+
+std::vector<Fault> collapse_faults(const Netlist& nl,
+                                   const std::vector<Fault>& faults) {
+  std::vector<Fault> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) {
+    const Node& n = nl.node(f.node);
+    // NOT/BUF outputs with a single-fanout driver: equivalent to a fault on
+    // the driver net; keep only the driver-side fault.
+    if ((n.type == GateType::Not || n.type == GateType::Buf) &&
+        nl.node(n.fanin[0]).fanout.size() == 1) {
+      continue;
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace tz

@@ -1,0 +1,33 @@
+// Single stuck-at fault model (the defender's post-fabrication test model,
+// paper Sec. III-A: "ATPG stuck-at model").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+enum class StuckAt : std::uint8_t { Zero = 0, One = 1 };
+
+struct Fault {
+  NodeId node = kNoNode;  ///< Faulty net (gate output or primary input).
+  StuckAt value = StuckAt::Zero;
+
+  bool operator==(const Fault&) const = default;
+};
+
+std::string to_string(const Netlist& nl, const Fault& f);
+
+/// Full single-stuck-at universe: sa0 and sa1 on every primary input and
+/// every combinational gate output.
+std::vector<Fault> fault_universe(const Netlist& nl);
+
+/// Structural equivalence collapsing: for inverter/buffer chains the input
+/// faults dominate the output faults (sa0 at a NOT input == sa1 at its
+/// output), so the output faults are dropped. Returns the collapsed list.
+std::vector<Fault> collapse_faults(const Netlist& nl,
+                                   const std::vector<Fault>& faults);
+
+}  // namespace tz

@@ -1,0 +1,254 @@
+#include "atpg/podem.hpp"
+
+#include <algorithm>
+
+namespace tz {
+namespace {
+
+enum class L3 : std::uint8_t { F = 0, T = 1, X = 2 };
+
+L3 l3_not(L3 a) {
+  if (a == L3::X) return L3::X;
+  return a == L3::T ? L3::F : L3::T;
+}
+
+L3 l3_and(L3 a, L3 b) {
+  if (a == L3::F || b == L3::F) return L3::F;
+  if (a == L3::X || b == L3::X) return L3::X;
+  return L3::T;
+}
+
+L3 l3_or(L3 a, L3 b) {
+  if (a == L3::T || b == L3::T) return L3::T;
+  if (a == L3::X || b == L3::X) return L3::X;
+  return L3::F;
+}
+
+L3 l3_xor(L3 a, L3 b) {
+  if (a == L3::X || b == L3::X) return L3::X;
+  return a == b ? L3::F : L3::T;
+}
+
+L3 eval3(const Node& n, const std::vector<L3>& v) {
+  switch (n.type) {
+    case GateType::Const0: return L3::F;
+    case GateType::Const1: return L3::T;
+    case GateType::Buf: return v[n.fanin[0]];
+    case GateType::Not: return l3_not(v[n.fanin[0]]);
+    case GateType::And:
+    case GateType::Nand: {
+      L3 acc = L3::T;
+      for (NodeId f : n.fanin) acc = l3_and(acc, v[f]);
+      return n.type == GateType::Nand ? l3_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      L3 acc = L3::F;
+      for (NodeId f : n.fanin) acc = l3_or(acc, v[f]);
+      return n.type == GateType::Nor ? l3_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      L3 acc = L3::F;
+      for (NodeId f : n.fanin) acc = l3_xor(acc, v[f]);
+      return n.type == GateType::Xnor ? l3_not(acc) : acc;
+    }
+    case GateType::Mux: {
+      const L3 s = v[n.fanin[0]];
+      const L3 a = v[n.fanin[1]];
+      const L3 b = v[n.fanin[2]];
+      if (s == L3::F) return a;
+      if (s == L3::T) return b;
+      if (a == b && a != L3::X) return a;  // select is X but branches agree
+      return L3::X;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      return L3::X;  // handled by caller
+  }
+  return L3::X;
+}
+
+/// Non-controlling value heuristic for propagating through a gate.
+bool noncontrolling(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+      return true;
+    case GateType::Or:
+    case GateType::Nor:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Does the gate invert the backtraced objective value?
+bool inverts(GateType t) {
+  return t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+         t == GateType::Xnor;
+}
+
+struct Machine {
+  std::vector<L3> good;
+  std::vector<L3> faulty;
+};
+
+}  // namespace
+
+PodemResult podem(const Netlist& nl, const Fault& fault,
+                  const PodemOptions& opt) {
+  const std::vector<NodeId> order = nl.topo_order();
+  const auto& pis = nl.inputs();
+  std::vector<int> pi_assign(nl.raw_size(), -1);  // -1 = X, else 0/1
+
+  Machine m;
+  m.good.assign(nl.raw_size(), L3::X);
+  m.faulty.assign(nl.raw_size(), L3::X);
+
+  const L3 stuck = fault.value == StuckAt::One ? L3::T : L3::F;
+  const L3 activate = l3_not(stuck);
+
+  auto imply = [&] {
+    for (NodeId id : order) {
+      const Node& n = nl.node(id);
+      L3 g, f;
+      if (n.type == GateType::Input) {
+        g = pi_assign[id] < 0 ? L3::X : (pi_assign[id] ? L3::T : L3::F);
+        f = g;
+      } else if (n.type == GateType::Dff) {
+        g = L3::X;
+        f = L3::X;
+      } else {
+        g = eval3(n, m.good);
+        f = eval3(n, m.faulty);
+      }
+      if (id == fault.node) f = stuck;
+      m.good[id] = g;
+      m.faulty[id] = f;
+    }
+  };
+
+  auto error_at_po = [&] {
+    for (NodeId po : nl.outputs()) {
+      if (m.good[po] != L3::X && m.faulty[po] != L3::X &&
+          m.good[po] != m.faulty[po]) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // D-frontier: gates with undetermined output and at least one input where
+  // the machines disagree with both values known.
+  auto d_frontier_gate = [&]() -> NodeId {
+    for (NodeId id : order) {
+      const Node& n = nl.node(id);
+      if (!is_combinational(n.type)) continue;
+      if (m.good[id] != L3::X && m.faulty[id] != L3::X) continue;
+      for (NodeId fi : n.fanin) {
+        if (m.good[fi] != L3::X && m.faulty[fi] != L3::X &&
+            m.good[fi] != m.faulty[fi]) {
+          return id;
+        }
+      }
+    }
+    return kNoNode;
+  };
+
+  // Objective selection. Returns nullopt when no useful objective exists
+  // (dead end -> backtrack).
+  auto objective = [&]() -> std::optional<std::pair<NodeId, bool>> {
+    if (m.good[fault.node] == L3::X) {
+      return std::make_pair(fault.node, activate == L3::T);
+    }
+    if (m.good[fault.node] != activate) return std::nullopt;  // de-activated
+    const NodeId g = d_frontier_gate();
+    if (g == kNoNode) return std::nullopt;
+    const Node& n = nl.node(g);
+    for (NodeId fi : n.fanin) {
+      if (m.good[fi] == L3::X || m.faulty[fi] == L3::X) {
+        return std::make_pair(fi, noncontrolling(n.type));
+      }
+    }
+    return std::nullopt;
+  };
+
+  // Backtrace an objective to an unassigned primary input.
+  auto backtrace = [&](NodeId node, bool val) -> std::pair<NodeId, bool> {
+    while (nl.node(node).type != GateType::Input) {
+      const Node& n = nl.node(node);
+      if (n.fanin.empty()) break;  // tie cell: cannot backtrace further
+      if (inverts(n.type)) val = !val;
+      NodeId next = kNoNode;
+      for (NodeId fi : n.fanin) {
+        if (m.good[fi] == L3::X) { next = fi; break; }
+      }
+      if (next == kNoNode) next = n.fanin[0];
+      node = next;
+    }
+    return {node, val};
+  };
+
+  struct Decision {
+    NodeId pi;
+    bool value;
+    bool tried_both;
+  };
+  std::vector<Decision> decisions;
+  PodemResult result;
+
+  imply();
+  while (true) {
+    if (error_at_po()) {
+      result.status = PodemStatus::Detected;
+      result.pattern.resize(pis.size());
+      result.assigned.resize(pis.size());
+      for (std::size_t i = 0; i < pis.size(); ++i) {
+        result.pattern[i] = pi_assign[pis[i]] == 1;
+        result.assigned[i] = pi_assign[pis[i]] >= 0 ? 1 : 0;
+      }
+      return result;
+    }
+    const auto obj = objective();
+    bool need_backtrack = !obj.has_value();
+    if (!need_backtrack) {
+      const auto [pi, val] = backtrace(obj->first, obj->second);
+      if (nl.node(pi).type != GateType::Input || pi_assign[pi] >= 0) {
+        // Backtrace hit a tie cell or an already-assigned PI: dead end.
+        need_backtrack = true;
+      } else {
+        decisions.push_back({pi, val, false});
+        pi_assign[pi] = val ? 1 : 0;
+        imply();
+        continue;
+      }
+    }
+    // Backtrack.
+    bool flipped = false;
+    while (!decisions.empty()) {
+      Decision& d = decisions.back();
+      if (!d.tried_both) {
+        d.tried_both = true;
+        d.value = !d.value;
+        pi_assign[d.pi] = d.value ? 1 : 0;
+        ++result.backtracks;
+        flipped = true;
+        break;
+      }
+      pi_assign[d.pi] = -1;
+      decisions.pop_back();
+    }
+    if (!flipped) {
+      result.status = PodemStatus::Untestable;
+      return result;
+    }
+    if (result.backtracks > opt.backtrack_limit) {
+      result.status = PodemStatus::Aborted;
+      return result;
+    }
+    imply();
+  }
+}
+
+}  // namespace tz

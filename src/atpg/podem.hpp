@@ -1,0 +1,39 @@
+// PODEM automatic test pattern generation (TetraMAX substitute).
+//
+// Classic PODEM (Goel 1981): decisions are made only on primary inputs, an
+// objective/backtrace pair drives the search, and full forward implication
+// runs two three-valued machines (good and faulty) in lockstep — the usual
+// decomposition of the 5-valued {0,1,X,D,D'} algebra.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sim/patterns.hpp"
+
+namespace tz {
+
+struct PodemOptions {
+  int backtrack_limit = 500;  ///< Abort threshold per fault.
+};
+
+enum class PodemStatus : std::uint8_t {
+  Detected,    ///< Pattern found.
+  Untestable,  ///< Search space exhausted: fault is redundant.
+  Aborted,     ///< Backtrack limit hit.
+};
+
+struct PodemResult {
+  PodemStatus status = PodemStatus::Aborted;
+  std::vector<bool> pattern;   ///< PI assignment (X filled with 0), PI order.
+  std::vector<char> assigned;  ///< 1 where the PI was actually constrained.
+  int backtracks = 0;
+};
+
+/// Generate a test for one stuck-at fault on a combinational netlist.
+PodemResult podem(const Netlist& nl, const Fault& fault,
+                  const PodemOptions& opt = {});
+
+}  // namespace tz

@@ -1,0 +1,110 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "core/trigger_prob.hpp"
+
+namespace tz {
+
+FlowResult run_trojanzero_flow(const std::string& benchmark_name,
+                               FlowOptions options) {
+  FlowResult r;
+  r.benchmark = benchmark_name;
+  r.original = make_benchmark(benchmark_name);
+
+  const PowerModel pm(CellLibrary::tsmc65_like());
+
+  // Phase (a): defender test patterns + HT-free thresholds.
+  r.suite = make_defender_suite(r.original, options.testgen);
+  r.atpg_coverage = r.suite.algorithms.front().coverage.coverage();
+  r.p_n = pm.analyze(r.original).totals;
+
+  // Phase (b): Algorithm 1.
+  SalvageOptions sopt;
+  sopt.pth = options.pth;
+  sopt.order = options.order;
+  r.salvage = salvage_power_area(r.original, r.suite, pm, sopt);
+  r.p_np = r.salvage.power_after;
+
+  // Phase (c): Algorithm 2. The library starts with the Table I counter for
+  // this circuit and falls back to smaller HTs when the salvaged budget
+  // cannot fund it (Algorithm 2 line 16: "selecting another HT").
+  InsertionOptions iopt = options.insertion;
+  if (iopt.library.empty()) {
+    for (int bits = options.counter_bits; bits >= 2; --bits) {
+      iopt.library.push_back(counter_trojan(bits));
+    }
+    iopt.library.push_back(counter_trojan(0));  // comparator trigger
+  }
+  r.insertion = insert_trojan(r.original, r.salvage, r.suite, pm, iopt);
+  r.p_npp = r.insertion.power;
+
+  // Pft over the defender's total pattern count.
+  std::size_t test_len = 0;
+  for (const DefenderTestSet& ts : r.suite.algorithms) {
+    test_len += ts.patterns.num_patterns();
+  }
+  r.pft = analytic_pft(r.insertion.trigger_p1, test_len, 0);
+  r.pft_payload = analytic_pft(r.insertion.trigger_p1, test_len,
+                               r.insertion.ht_desc.counter_bits);
+  return r;
+}
+
+FlowResult run_trojanzero_flow(const std::string& benchmark_name) {
+  FlowOptions opt;
+  if (benchmark_name != "c17") {
+    const BenchmarkSpec& spec = spec_for(benchmark_name);
+    opt.pth = spec.pth;
+    opt.counter_bits = spec.counter_bits;
+  } else {
+    opt.pth = 0.9;
+    opt.counter_bits = 2;
+  }
+  return run_trojanzero_flow(benchmark_name, opt);
+}
+
+void print_table1_row(std::ostream& os, const FlowResult& r,
+                      const BenchmarkSpec& paper) {
+  const auto flags = os.flags();
+  os << std::left << std::setw(7) << r.benchmark << std::right << std::fixed
+     << std::setprecision(1);
+  os << " gates " << std::setw(5) << r.original.gate_count() << " (paper "
+     << paper.paper_gates << ")";
+  os << " | Pth " << std::setprecision(4) << paper.pth;
+  os << " | C " << std::setw(3) << r.salvage.candidates << " (paper "
+     << paper.paper_candidates << ")";
+  os << " | Eg " << std::setw(3) << r.salvage.expendable_gates << " (paper "
+     << paper.paper_expendable << ")";
+  os << " | HT " << r.insertion.ht_name;
+  os << std::setprecision(1);
+  os << " | P(N/N'/N'') " << r.p_n.total_uw() << "/" << r.p_np.total_uw()
+     << "/" << r.p_npp.total_uw() << " uW (paper " << paper.paper_power_n
+     << "/" << paper.paper_power_np << "/" << paper.paper_power_npp << ")";
+  os << " | A " << r.p_n.area_ge << "/" << r.p_np.area_ge << "/"
+     << r.p_npp.area_ge << " GE (paper " << paper.paper_area_n << "/"
+     << paper.paper_area_np << "/" << paper.paper_area_npp << ")";
+  os << " | Pft " << std::scientific << std::setprecision(1) << r.pft
+     << " (paper " << paper.paper_pft << ")\n";
+  os.flags(flags);
+}
+
+void print_power_triple(std::ostream& os, const FlowResult& r,
+                        const BenchmarkSpec& paper) {
+  const auto flags = os.flags();
+  os << std::fixed << std::setprecision(2);
+  os << r.benchmark << "\n";
+  os << "  dynamic uW  N " << std::setw(8) << r.p_n.dynamic_uw << "  N' "
+     << std::setw(8) << r.p_np.dynamic_uw << "  N'' " << std::setw(8)
+     << r.p_npp.dynamic_uw << "\n";
+  os << "  leakage uW  N " << std::setw(8) << r.p_n.leakage_uw << "  N' "
+     << std::setw(8) << r.p_np.leakage_uw << "  N'' " << std::setw(8)
+     << r.p_npp.leakage_uw << "\n";
+  os << "  area    GE  N " << std::setw(8) << r.p_n.area_ge << "  N' "
+     << std::setw(8) << r.p_np.area_ge << "  N'' " << std::setw(8)
+     << r.p_npp.area_ge << "   (paper totals " << paper.paper_area_n << "/"
+     << paper.paper_area_np << "/" << paper.paper_area_npp << ")\n";
+  os.flags(flags);
+}
+
+}  // namespace tz

@@ -1,0 +1,70 @@
+// End-to-end TrojanZero flow (Fig. 2 / Fig. 6) and reporting helpers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "atpg/test_set.hpp"
+#include "core/insertion.hpp"
+#include "core/salvage.hpp"
+#include "gen/iscas.hpp"
+#include "tech/power_model.hpp"
+
+namespace tz {
+
+struct FlowOptions {
+  double pth = 0.992;          ///< Algorithm 1 threshold (Table I per circuit).
+  int counter_bits = 3;        ///< HT size (Table I per circuit).
+  /// Defender configuration. The paper's defender validates with the ATPG TP
+  /// set; random-vector exposure is quantified separately (Pft / Eq. 1), so
+  /// the flow default is ATPG-only. Enable the extra algorithms for the
+  /// defender-strength ablation.
+  TestGenOptions testgen = atpg_only_defender();
+  InsertionOptions insertion;  ///< Algorithm 2 configuration.
+  SalvageOptions::Order order = SalvageOptions::Order::ByProbability;
+
+  static TestGenOptions atpg_only_defender() {
+    TestGenOptions t;
+    t.with_random_validation = false;
+    t.with_walking = false;
+    t.random_patterns = 64;
+    t.max_patterns = 80;
+    return t;
+  }
+};
+
+/// Everything one Table I row needs.
+struct FlowResult {
+  std::string benchmark;
+  Netlist original;    ///< N.
+  DefenderSuite suite;
+  SalvageResult salvage;      ///< Holds N' and Algorithm 1 stats.
+  InsertionResult insertion;  ///< Holds N'' and Algorithm 2 stats.
+  PowerReport p_n, p_np, p_npp;
+  /// P[counter saturates during the defender's pattern stream] — payload
+  /// actually fires under test.
+  double pft_payload = 0.0;
+  /// P[the trigger condition is observed at least once during testing] —
+  /// the conservative exposure number Table I's Pft column tracks.
+  double pft = 0.0;
+  double atpg_coverage = 0.0;
+};
+
+/// Run the complete TrojanZero flow per Fig. 2: verify N, compute thresholds,
+/// run Algorithm 1 and Algorithm 2, and evaluate Pft. `options.pth` and
+/// `counter_bits` default from the Table I spec when the benchmark is known.
+FlowResult run_trojanzero_flow(const std::string& benchmark_name,
+                               FlowOptions options);
+
+/// Flow with Table I defaults for the named benchmark.
+FlowResult run_trojanzero_flow(const std::string& benchmark_name);
+
+/// Print one Table-I-style row: measured values with the paper's numbers.
+void print_table1_row(std::ostream& os, const FlowResult& r,
+                      const BenchmarkSpec& paper);
+
+/// Print the paper-vs-measured power/area triple (N, N', N'').
+void print_power_triple(std::ostream& os, const FlowResult& r,
+                        const BenchmarkSpec& paper);
+
+}  // namespace tz

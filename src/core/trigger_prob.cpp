@@ -1,0 +1,97 @@
+#include "core/trigger_prob.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "sim/simulator.hpp"
+
+namespace tz {
+
+double analytic_pft(double q, std::size_t test_length, int counter_bits) {
+  if (q <= 0.0) return 0.0;
+  if (q >= 1.0) return 1.0;
+  const std::size_t L = test_length;
+  const int need = counter_bits == 0 ? 1 : (1 << counter_bits) - 1;
+  if (static_cast<std::size_t>(need) > L) return 0.0;
+  // P[X >= need] = 1 - sum_{k<need} C(L,k) q^k (1-q)^(L-k), in log space.
+  double tail = 0.0;
+  double log_comb = 0.0;  // log C(L,0)
+  const double lq = std::log(q), l1q = std::log1p(-q);
+  for (int k = 0; k < need; ++k) {
+    if (k > 0) {
+      log_comb += std::log(static_cast<double>(L - k + 1)) -
+                  std::log(static_cast<double>(k));
+    }
+    tail += std::exp(log_comb + k * lq + (L - k) * l1q);
+  }
+  return std::max(0.0, 1.0 - tail);
+}
+
+double monte_carlo_pft(const Netlist& infected, NodeId fire_node,
+                       std::size_t test_length, std::size_t trials,
+                       std::uint64_t seed) {
+  if (!infected.is_alive(fire_node)) {
+    throw std::invalid_argument("monte_carlo_pft: bad fire node");
+  }
+  std::mt19937_64 rng(seed);
+  std::size_t hits = 0;
+  std::vector<bool> in(infected.inputs().size());
+  for (std::size_t t = 0; t < trials; ++t) {
+    CycleSimulator cs(infected);
+    bool fired = false;
+    for (std::size_t cycle = 0; cycle < test_length && !fired; ++cycle) {
+      for (std::size_t i = 0; i < in.size(); ++i) in[i] = rng() & 1;
+      cs.step(in);
+      // Inspect the fire node after combinational settling: the payload was
+      // live this cycle if fire evaluated to 1.
+      fired = cs.value_of(fire_node);
+    }
+    if (fired) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double sampled_untargeted_probability(const Netlist& original,
+                                      const Netlist& modified,
+                                      std::size_t samples,
+                                      std::uint64_t seed) {
+  const PatternSet ps =
+      random_patterns(original.inputs().size(), samples, seed);
+  const PatternSet a = BitSimulator(original).outputs(ps);
+  const PatternSet b = BitSimulator(modified).outputs(ps);
+  std::size_t diff = 0;
+  for (std::size_t p = 0; p < samples; ++p) {
+    for (std::size_t o = 0; o < a.num_signals(); ++o) {
+      if (a.get(p, o) != b.get(p, o)) {
+        ++diff;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(diff) / static_cast<double>(samples);
+}
+
+double exact_untargeted_probability(const Netlist& original,
+                                    const Netlist& modified) {
+  const std::size_t n = original.inputs().size();
+  if (n > 20) {
+    throw std::invalid_argument("exact_untargeted_probability: too wide");
+  }
+  const PatternSet ps = exhaustive_patterns(n);
+  const PatternSet a = BitSimulator(original).outputs(ps);
+  const PatternSet b = BitSimulator(modified).outputs(ps);
+  std::size_t nu = 0;
+  for (std::size_t p = 0; p < ps.num_patterns(); ++p) {
+    for (std::size_t o = 0; o < a.num_signals(); ++o) {
+      if (a.get(p, o) != b.get(p, o)) {
+        ++nu;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(nu) /
+         static_cast<double>(std::size_t{1} << n);
+}
+
+}  // namespace tz

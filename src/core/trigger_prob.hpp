@@ -1,0 +1,41 @@
+// Trigger-probability analysis (Table I's Pft column and Eq. 1's Pu).
+//
+// Pft: probability that the counter HT's payload activates at least once
+// while the defender streams L random test vectors. The trigger condition
+// fires per cycle with probability q (product of the rare-net probabilities)
+// and the n-bit counter must accumulate 2^n - 1 hits, so
+//   Pft = P[ Binomial(L, q) >= 2^n - 1 ].
+// Pu (Eq. 1): for untargeted HTs (the functional changes Algorithm 1 leaves
+// behind), Pu = Nu / 2^I, estimated by sampling or computed exactly for
+// small input counts.
+#pragma once
+
+#include <cstdint>
+
+#include "core/insertion.hpp"
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// Closed-form Pft as defined above. `q` in [0,1], L >= 0, counter_bits >= 0
+/// (0 = combinational trigger: Pft = 1 - (1-q)^L).
+double analytic_pft(double q, std::size_t test_length, int counter_bits);
+
+/// Monte-Carlo Pft: stream `trials` random test sessions of `test_length`
+/// cycles each through the infected circuit and count sessions in which the
+/// HT fire signal asserted. Exact but slow; used to validate analytic_pft.
+double monte_carlo_pft(const Netlist& infected, NodeId fire_node,
+                       std::size_t test_length, std::size_t trials,
+                       std::uint64_t seed);
+
+/// Eq. 1 by sampling: fraction of `samples` random vectors on which the two
+/// circuits' outputs differ (modified circuit N' vs HT-free N).
+double sampled_untargeted_probability(const Netlist& original,
+                                      const Netlist& modified,
+                                      std::size_t samples, std::uint64_t seed);
+
+/// Eq. 1 exactly (requires inputs <= 20): Nu / 2^n.
+double exact_untargeted_probability(const Netlist& original,
+                                    const Netlist& modified);
+
+}  // namespace tz

@@ -1,0 +1,28 @@
+// Gate-level characterization detection (Potkonjak et al. [11]).
+//
+// The defender calibrates a per-die global leakage scale from many per-gate
+// leakage observations (non-destructive gate-level characterization), then
+// checks whether the die's *total* leakage is consistent with the claimed
+// netlist. Extra malicious gates leak even when dormant, so the residual
+// between measured and reconstructed leakage exposes additive HTs.
+#pragma once
+
+#include "detect/power_trace.hpp"
+
+namespace tz {
+
+/// Leakage-residual test: characterize per-die scale on the golden model,
+/// then flag the DUT population when its scale-normalized leakage exceeds
+/// the golden population by the confidence threshold.
+DetectionResult detect_leakage_glc(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerModel& pm,
+                                   const PowerDetectOptions& opt = {});
+
+/// Fig. 3 support: smallest additive-HT leakage overhead (%) this detector
+/// reliably flags.
+double min_detectable_leakage_overhead(const Netlist& golden_nl,
+                                       const PowerModel& pm,
+                                       const PowerDetectOptions& opt = {});
+
+}  // namespace tz

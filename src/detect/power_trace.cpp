@@ -1,0 +1,100 @@
+#include "detect/power_trace.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/ht_library.hpp"
+
+namespace tz {
+namespace {
+
+struct Population {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+Population stats(const std::vector<double>& xs) {
+  Population p;
+  if (xs.empty()) return p;
+  p.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - p.mean) * (x - p.mean);
+  var /= std::max<std::size_t>(1, xs.size() - 1);
+  p.stddev = std::sqrt(var);
+  return p;
+}
+
+DetectionResult population_test(const Netlist& golden_nl,
+                                const Netlist& dut_nl, const PowerModel& pm,
+                                const PowerDetectOptions& opt, bool total) {
+  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
+  const PowerBreakdown dut_nom = pm.analyze(dut_nl);
+  VariationModel vm(opt.variation, opt.seed);
+
+  auto draw = [&](const Netlist& nl, const PowerBreakdown& nom,
+                  std::size_t dies) {
+    std::vector<double> xs;
+    xs.reserve(dies);
+    for (std::size_t i = 0; i < dies; ++i) {
+      const DieSample die = vm.sample_die(nl.raw_size());
+      const PowerReport m = vm.measure(nl, nom, die);
+      xs.push_back(total ? m.total_uw() : m.dynamic_uw);
+    }
+    return xs;
+  };
+
+  const Population g = stats(draw(golden_nl, golden_nom, opt.golden_dies));
+  const Population d = stats(draw(dut_nl, dut_nom, opt.dut_dies));
+
+  DetectionResult r;
+  r.threshold = opt.confidence_sigma;
+  // Standard error of the DUT-mean vs golden-mean difference.
+  const double sem =
+      std::sqrt(g.stddev * g.stddev / static_cast<double>(opt.golden_dies) +
+                d.stddev * d.stddev / static_cast<double>(opt.dut_dies));
+  r.statistic = sem > 0.0 ? (d.mean - g.mean) / sem : 0.0;
+  r.detected = r.statistic > r.threshold;
+  r.overhead_percent = g.mean > 0.0 ? 100.0 * (d.mean - g.mean) / g.mean : 0.0;
+  return r;
+}
+
+}  // namespace
+
+DetectionResult detect_dynamic_power(const Netlist& golden_nl,
+                                     const Netlist& dut_nl,
+                                     const PowerModel& pm,
+                                     const PowerDetectOptions& opt) {
+  return population_test(golden_nl, dut_nl, pm, opt, /*total=*/false);
+}
+
+DetectionResult detect_total_power(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerModel& pm,
+                                   const PowerDetectOptions& opt) {
+  return population_test(golden_nl, dut_nl, pm, opt, /*total=*/true);
+}
+
+double min_detectable_dynamic_overhead(const Netlist& golden_nl,
+                                       const PowerModel& pm,
+                                       const PowerDetectOptions& opt) {
+  // Attach additive always-on gates (classic additive HT model) one at a
+  // time until the detector flags the die population.
+  Netlist dut = golden_nl;
+  const double base = pm.analyze(golden_nl).totals.dynamic_uw;
+  for (int gates = 1; gates <= 256; ++gates) {
+    const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
+    add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+    PowerDetectOptions o = opt;
+    o.seed = opt.seed + static_cast<std::uint64_t>(gates);
+    const DetectionResult r = detect_dynamic_power(golden_nl, dut, pm, o);
+    if (r.detected) {
+      const double now = pm.analyze(dut).totals.dynamic_uw;
+      return 100.0 * (now - base) / base;
+    }
+  }
+  return 100.0;  // never detected within the sweep
+}
+
+}  // namespace tz

@@ -1,0 +1,50 @@
+// Power-trace statistical HT detection (Rad / Plusquellic / Tehranipoor-style
+// [10]): compare a population of measured DUT dynamic-power traces against a
+// trusted golden population under process variation; flag the DUT when its
+// mean exceeds the golden mean by a confidence multiple of the golden spread.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "tech/power_model.hpp"
+#include "tech/variation.hpp"
+
+namespace tz {
+
+struct DetectionResult {
+  bool detected = false;
+  double statistic = 0.0;   ///< Normalized test statistic (sigmas).
+  double threshold = 0.0;   ///< Decision threshold (sigmas).
+  double overhead_percent = 0.0;  ///< Observed mean overhead vs golden (%).
+};
+
+struct PowerDetectOptions {
+  std::size_t golden_dies = 64;
+  std::size_t dut_dies = 16;
+  double confidence_sigma = 3.0;  ///< 3-sigma decision rule.
+  VariationSpec variation;
+  std::uint64_t seed = 99;
+};
+
+/// Dynamic-power population test. `golden_nl` is the signed-off netlist the
+/// defender trusts; `dut_nl` is what actually got fabricated.
+DetectionResult detect_dynamic_power(const Netlist& golden_nl,
+                                     const Netlist& dut_nl,
+                                     const PowerModel& pm,
+                                     const PowerDetectOptions& opt = {});
+
+/// Same machinery on total power (dynamic + leakage).
+DetectionResult detect_total_power(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerModel& pm,
+                                   const PowerDetectOptions& opt = {});
+
+/// Fig. 3 support: smallest additive-HT dynamic-power overhead (in % of the
+/// golden total) this detector reliably flags. Determined by sweeping
+/// additive always-on gate bundles attached to the circuit.
+double min_detectable_dynamic_overhead(const Netlist& golden_nl,
+                                       const PowerModel& pm,
+                                       const PowerDetectOptions& opt = {});
+
+}  // namespace tz

@@ -1,0 +1,118 @@
+#include "detect/statistical_learning.hpp"
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "core/ht_library.hpp"
+
+namespace tz {
+namespace {
+
+using Feature = std::array<double, 2>;  // {dynamic_uw, leakage_uw}
+
+Feature measure_die(const Netlist& nl, const PowerBreakdown& nom,
+                    VariationModel& vm) {
+  const DieSample die = vm.sample_die(nl.raw_size());
+  const PowerReport r = vm.measure(nl, nom, die);
+  return {r.dynamic_uw, r.leakage_uw};
+}
+
+struct Gaussian2 {
+  Feature mean{};
+  // Inverse covariance (2x2 symmetric).
+  double ixx = 0, ixy = 0, iyy = 0;
+
+  double mahalanobis2(const Feature& f) const {
+    const double dx = f[0] - mean[0];
+    const double dy = f[1] - mean[1];
+    return dx * dx * ixx + 2 * dx * dy * ixy + dy * dy * iyy;
+  }
+};
+
+Gaussian2 fit(const std::vector<Feature>& xs) {
+  Gaussian2 g;
+  const double n = static_cast<double>(xs.size());
+  for (const Feature& f : xs) {
+    g.mean[0] += f[0] / n;
+    g.mean[1] += f[1] / n;
+  }
+  double cxx = 0, cxy = 0, cyy = 0;
+  for (const Feature& f : xs) {
+    const double dx = f[0] - g.mean[0];
+    const double dy = f[1] - g.mean[1];
+    cxx += dx * dx;
+    cxy += dx * dy;
+    cyy += dy * dy;
+  }
+  cxx /= n - 1;
+  cxy /= n - 1;
+  cyy /= n - 1;
+  const double det = std::max(1e-12, cxx * cyy - cxy * cxy);
+  g.ixx = cyy / det;
+  g.ixy = -cxy / det;
+  g.iyy = cxx / det;
+  return g;
+}
+
+}  // namespace
+
+DetectionResult detect_statistical_learning(
+    const Netlist& golden_nl, const Netlist& dut_nl, const PowerModel& pm,
+    const LearningDetectOptions& opt) {
+  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
+  const PowerBreakdown dut_nom = pm.analyze(dut_nl);
+  VariationModel vm(opt.base.variation, opt.base.seed);
+
+  std::vector<Feature> train;
+  for (std::size_t i = 0; i < opt.base.golden_dies; ++i) {
+    train.push_back(measure_die(golden_nl, golden_nom, vm));
+  }
+  const Gaussian2 g = fit(train);
+  double max_train = 0.0;
+  for (const Feature& f : train) {
+    max_train = std::max(max_train, g.mahalanobis2(f));
+  }
+  const double boundary = opt.margin * max_train;
+
+  std::size_t outside = 0;
+  double mean_overhead = 0.0;
+  double mean_dist = 0.0;
+  for (std::size_t i = 0; i < opt.base.dut_dies; ++i) {
+    const Feature f = measure_die(dut_nl, dut_nom, vm);
+    const double d2 = g.mahalanobis2(f);
+    mean_dist += d2 / opt.base.dut_dies;
+    if (d2 > boundary) ++outside;
+    mean_overhead +=
+        100.0 * ((f[0] + f[1]) - (g.mean[0] + g.mean[1])) /
+        ((g.mean[0] + g.mean[1]) * opt.base.dut_dies);
+  }
+  DetectionResult r;
+  r.threshold = boundary;
+  r.statistic = mean_dist;
+  r.detected = outside * 2 > opt.base.dut_dies;  // majority vote
+  r.overhead_percent = mean_overhead;
+  return r;
+}
+
+double min_detectable_area_overhead(const Netlist& golden_nl,
+                                    const PowerModel& pm,
+                                    const LearningDetectOptions& opt) {
+  Netlist dut = golden_nl;
+  const double base = pm.analyze(golden_nl).totals.area_ge;
+  for (int gates = 1; gates <= 256; ++gates) {
+    const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
+    add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+    LearningDetectOptions o = opt;
+    o.base.seed = opt.base.seed + static_cast<std::uint64_t>(gates);
+    const DetectionResult r =
+        detect_statistical_learning(golden_nl, dut, pm, o);
+    if (r.detected) {
+      const double now = pm.analyze(dut).totals.area_ge;
+      return 100.0 * (now - base) / base;
+    }
+  }
+  return 100.0;
+}
+
+}  // namespace tz

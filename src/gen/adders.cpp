@@ -1,0 +1,82 @@
+#include <stdexcept>
+
+#include "gen/builder.hpp"
+
+namespace tz {
+
+NodeId Builder::reduce(GateType t, std::span<const NodeId> xs, int max_arity) {
+  if (xs.empty()) throw std::invalid_argument("reduce: empty operand list");
+  if (xs.size() == 1) return xs[0];
+  std::vector<NodeId> layer(xs.begin(), xs.end());
+  while (layer.size() > 1) {
+    std::vector<NodeId> next;
+    for (std::size_t i = 0; i < layer.size(); i += max_arity) {
+      const std::size_t n = std::min<std::size_t>(max_arity, layer.size() - i);
+      if (n == 1) {
+        next.push_back(layer[i]);
+      } else {
+        next.push_back(gate(t, std::span<const NodeId>(layer.data() + i, n)));
+      }
+    }
+    layer = std::move(next);
+  }
+  return layer[0];
+}
+
+NodeId Builder::decode_term(std::span<const NodeId> bus, unsigned value) {
+  std::vector<NodeId> terms;
+  terms.reserve(bus.size());
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    const bool want_one = (value >> i) & 1;
+    terms.push_back(want_one ? bus[i] : not_(bus[i]));
+  }
+  return and_n(terms);
+}
+
+AdderResult full_adder(Builder& b, NodeId x, NodeId y, NodeId cin) {
+  const NodeId p = b.xor_(x, y);
+  const NodeId s = b.xor_(p, cin);
+  const NodeId g = b.and_(x, y);
+  const NodeId pc = b.and_(p, cin);
+  const NodeId c = b.or_(g, pc);
+  return {{s}, c};
+}
+
+AdderResult ripple_adder(Builder& b, const Bus& a, const Bus& bb, NodeId cin) {
+  if (a.size() != bb.size()) throw std::invalid_argument("adder: width");
+  AdderResult r;
+  NodeId carry = cin;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    AdderResult bit = full_adder(b, a[i], bb[i], carry);
+    r.sum.push_back(bit.sum[0]);
+    carry = bit.carry_out;
+  }
+  r.carry_out = carry;
+  return r;
+}
+
+AdderResult subtractor(Builder& b, const Bus& a, const Bus& bb) {
+  Bus nb;
+  nb.reserve(bb.size());
+  for (NodeId x : bb) nb.push_back(b.not_(x));
+  const NodeId one = b.netlist().const_node(true);
+  return ripple_adder(b, a, nb, one);
+}
+
+NodeId equals(Builder& b, const Bus& a, const Bus& bb) {
+  if (a.size() != bb.size()) throw std::invalid_argument("equals: width");
+  std::vector<NodeId> eq;
+  eq.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) eq.push_back(b.xnor_(a[i], bb[i]));
+  return b.and_n(eq);
+}
+
+Bus mux_bus(Builder& b, NodeId sel, const Bus& a, const Bus& bb) {
+  if (a.size() != bb.size()) throw std::invalid_argument("mux_bus: width");
+  Bus out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out.push_back(b.mux(sel, a[i], bb[i]));
+  return out;
+}
+
+}  // namespace tz

@@ -1,0 +1,235 @@
+// ALU benchmark generators (c880 / c3540 class).
+#include "gen/builder.hpp"
+#include "gen/circuits.hpp"
+
+namespace tz {
+namespace {
+
+/// Per-bit logic unit: returns {AND, OR, XOR} of the operands.
+struct LogicUnit {
+  Bus and_r, or_r, xor_r;
+};
+
+LogicUnit logic_unit(Builder& b, const Bus& a, const Bus& bb) {
+  LogicUnit u;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    u.and_r.push_back(b.and_(a[i], bb[i]));
+    u.or_r.push_back(b.or_(a[i], bb[i]));
+    u.xor_r.push_back(b.xor_(a[i], bb[i]));
+  }
+  return u;
+}
+
+/// 4-way result select from two select lines.
+Bus select4(Builder& b, NodeId s0, NodeId s1, const Bus& r0, const Bus& r1,
+            const Bus& r2, const Bus& r3) {
+  const Bus lo = mux_bus(b, s0, r0, r1);
+  const Bus hi = mux_bus(b, s0, r2, r3);
+  return mux_bus(b, s1, lo, hi);
+}
+
+/// BCD correction for one nibble: add 6 when value > 9 or nibble carry set.
+Bus bcd_correct(Builder& b, const Bus& nibble, NodeId carry, NodeId enable,
+                NodeId* carry_out) {
+  // detect = n3 & (n2 | n1)  (value in 10..15) or incoming carry.
+  const NodeId gt9 = b.and_(nibble[3], b.or_(nibble[2], nibble[1]));
+  const NodeId need = b.and_(b.or_(gt9, carry), enable);
+  // Add 0110 when needed.
+  const NodeId zero = b.netlist().const_node(false);
+  const Bus six{zero, need, need, zero};
+  const AdderResult r = ripple_adder(b, nibble, six, zero);
+  if (carry_out) *carry_out = b.or_(carry, b.and_(gt9, enable));
+  return r.sum;
+}
+
+}  // namespace
+
+Netlist gen_alu8() {
+  Builder b("c880_alu8");
+  const Bus a = b.input_bus("A", 8);
+  const Bus bb = b.input_bus("B", 8);
+  const Bus c = b.input_bus("C", 8);
+  const Bus mask = b.input_bus("MASK", 8);
+  const Bus mode = b.input_bus("MODE", 8);
+  const Bus status = b.input_bus("ST", 8);
+  const Bus sel = b.input_bus("SEL", 4);
+  const NodeId cin = b.input("CIN");  // the c880 carry-in (paper's N261 role)
+  const Bus en = b.input_bus("EN", 3);
+  const Bus te = b.input_bus("TE", 4);
+
+  // Arithmetic core.
+  const AdderResult add = ripple_adder(b, a, bb, cin);
+  const AdderResult sub = subtractor(b, a, bb);
+  const LogicUnit lu = logic_unit(b, a, bb);
+
+  // Masked third-operand path (c880 processes a second operand pair).
+  Bus cm;
+  for (int i = 0; i < 8; ++i) cm.push_back(b.and_(c[i], mask[i]));
+  const AdderResult addc = ripple_adder(b, cm, c, sel[3]);
+
+  // Result select.
+  const Bus r_arith = mux_bus(b, sel[3], add.sum, sub.sum);
+  const Bus r_main = select4(b, sel[0], sel[1], r_arith, lu.and_r, lu.or_r,
+                             lu.xor_r);
+  const Bus r_final = mux_bus(b, sel[2], r_main, addc.sum);
+
+  // Wide mode decodes: AND terms across the full 8-bit MODE word. With
+  // near-uniform inputs these nodes sit at P1 = 2^-8, i.e. P0 = 0.996 — the
+  // c880 candidates of Fig. 5 (P0 = 0.997).
+  std::vector<NodeId> decode_flags;
+  for (unsigned v : {0xFFu, 0x00u, 0xA5u, 0x5Au, 0x0Fu, 0xF0u}) {
+    decode_flags.push_back(b.decode_term(mode, v));
+  }
+  // Decoded modes gate an auxiliary status update (keeps decodes observable).
+  Bus stx;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId gated = b.and_(status[i], decode_flags[i % 6]);
+    stx.push_back(b.xor_(gated, r_final[i]));
+  }
+
+  // Status priority encoder: lowest asserted status line wins (the c880
+  // interrupt-style section); gives a chain of increasingly-rare AND terms.
+  std::vector<NodeId> prio;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<NodeId> terms{status[i]};
+    for (int j = 0; j < i; ++j) terms.push_back(b.not_(status[j]));
+    prio.push_back(b.and_n(terms));
+  }
+  std::vector<NodeId> prio_idx_bits[3];
+  for (int ch = 0; ch < 8; ++ch) {
+    for (int bit = 0; bit < 3; ++bit) {
+      if ((ch >> bit) & 1) prio_idx_bits[bit].push_back(prio[ch]);
+    }
+  }
+
+  // Flags.
+  const NodeId parity = b.xor_n(r_final);
+  const NodeId par_a = b.xor_n(a);
+  const NodeId par_b = b.xor_n(bb);
+  const NodeId par_in = b.xor_(par_a, par_b);
+  const NodeId zero_flag = b.not_(b.or_n(r_final));
+  const NodeId neg_flag = b.buf(r_final[7]);
+  const NodeId ovf = b.xor_(add.carry_out, b.xor_(a[7], bb[7]));
+  const NodeId a_eq_b = equals(b, a, bb);
+  const NodeId test_any = b.and_(b.or_n(te), b.and_n(en));
+
+  b.output_bus(r_final);   // 8
+  b.output_bus(stx);       // 8
+  b.output(add.carry_out);
+  b.output(b.xor_(par_in, parity));
+  b.output(zero_flag);
+  b.output(neg_flag);
+  b.output(ovf);
+  b.output(b.or_(a_eq_b, test_any));
+  b.output(addc.carry_out);
+  for (auto& bits : prio_idx_bits) b.output(b.or_n(bits));  // 3 — total 26
+  b.netlist().check();
+  return std::move(b).take();
+}
+
+Netlist gen_alu_bcd() {
+  Builder b("c3540_alu_bcd");
+  const Bus a = b.input_bus("A", 8);
+  const Bus bb = b.input_bus("B", 8);
+  const Bus d = b.input_bus("D", 8);
+  const Bus m = b.input_bus("M", 8);
+  const Bus ctrl = b.input_bus("CTRL", 8);
+  const Bus sel = b.input_bus("SEL", 4);
+  const Bus sh = b.input_bus("SH", 3);
+  const NodeId cin = b.input("CIN");
+  const NodeId bcd_en = b.input("BCD");
+  const NodeId en = b.input("EN");
+
+  // --- ALU slice 1: A op B ---
+  const AdderResult add1 = ripple_adder(b, a, bb, cin);
+  const AdderResult sub1 = subtractor(b, a, bb);
+  const LogicUnit lu1 = logic_unit(b, a, bb);
+  const Bus alu1 = select4(b, sel[0], sel[1], add1.sum, sub1.sum, lu1.and_r,
+                           lu1.xor_r);
+
+  // --- BCD correction on both nibbles of the adder result ---
+  const Bus lo_nib{add1.sum[0], add1.sum[1], add1.sum[2], add1.sum[3]};
+  const Bus hi_nib{add1.sum[4], add1.sum[5], add1.sum[6], add1.sum[7]};
+  NodeId bcd_carry = kNoNode;
+  const Bus lo_bcd = bcd_correct(b, lo_nib, b.netlist().const_node(false),
+                                 bcd_en, &bcd_carry);
+  NodeId bcd_carry2 = kNoNode;
+  const Bus hi_bcd = bcd_correct(b, hi_nib, bcd_carry, bcd_en, &bcd_carry2);
+  Bus bcd_result = lo_bcd;
+  bcd_result.insert(bcd_result.end(), hi_bcd.begin(), hi_bcd.end());
+
+  // --- ALU slice 2: D op M (second operand pair) ---
+  const AdderResult add2 = ripple_adder(b, d, m, b.netlist().const_node(false));
+  const LogicUnit lu2 = logic_unit(b, d, m);
+  const Bus alu2 = select4(b, sel[2], sel[3], add2.sum, lu2.or_r, lu2.and_r,
+                           lu2.xor_r);
+
+  // --- Full 8x8 partial-product multiplier array over A and M ---
+  const NodeId mzero = b.netlist().const_node(false);
+  Bus prod(16, mzero);
+  for (int i = 0; i < 8; ++i) prod[i] = b.and_(a[i], m[0]);
+  for (int row = 1; row < 8; ++row) {
+    Bus shifted(16, mzero);
+    for (int i = 0; i < 8; ++i) shifted[i + row] = b.and_(a[i], m[row]);
+    const AdderResult s = ripple_adder(b, prod, shifted, mzero);
+    prod = s.sum;
+  }
+  Bus acc(prod.begin(), prod.begin() + 8);
+  Bus prod_hi(prod.begin() + 8, prod.end());
+  const NodeId spill_parity = b.xor_n(prod_hi);
+
+  // --- Barrel shifter on ALU1 result ---
+  Bus shift_stage = alu1;
+  const NodeId zero = b.netlist().const_node(false);
+  for (int stage = 0; stage < 3; ++stage) {
+    const int amount = 1 << stage;
+    Bus next;
+    for (int i = 0; i < 8; ++i) {
+      const NodeId from = i + amount < 8 ? shift_stage[i + amount] : zero;
+      next.push_back(b.mux(sh[stage], shift_stage[i], from));
+    }
+    shift_stage = next;
+  }
+
+  // --- Wide control decode bank (16 one-hot terms over 8 control lines) ---
+  std::vector<NodeId> decode;
+  for (unsigned v = 0; v < 16; ++v) {
+    decode.push_back(b.decode_term(ctrl, v * 17u));  // spread across 0..255
+  }
+  // Decode-gated auxiliary parity network keeps every decode observable.
+  std::vector<NodeId> gated;
+  for (int i = 0; i < 16; ++i) {
+    gated.push_back(b.and_(decode[i], alu2[i % 8]));
+  }
+  const NodeId decode_parity = b.xor_n(gated);
+
+  // --- Final result path ---
+  const Bus with_bcd = mux_bus(b, bcd_en, alu1, bcd_result);
+  const Bus with_shift = mux_bus(b, sh[0], with_bcd, shift_stage);
+  Bus result;
+  for (int i = 0; i < 8; ++i) {
+    result.push_back(b.mux(en, with_shift[i], acc[i]));
+  }
+
+  // --- Flags ---
+  const NodeId carry = b.or_(add1.carry_out, bcd_carry2);
+  const NodeId zero_flag = b.not_(b.or_n(result));
+  const NodeId neg = b.buf(result[7]);
+  const NodeId par = b.xor_n(result);
+  const NodeId cmp = equals(b, a, bb);
+  const NodeId alu2_any = b.or_n(alu2);
+
+  b.output_bus(result);   // 8
+  b.output_bus(Bus{alu2[0], alu2[1], alu2[2], alu2[3],
+                   alu2[4], alu2[5], alu2[6], alu2[7]});  // 8
+  b.output(carry);
+  b.output(zero_flag);
+  b.output(neg);
+  b.output(par);
+  b.output(cmp);
+  b.output(b.and_(b.xor_(decode_parity, spill_parity), alu2_any));  // 22nd
+  b.netlist().check();
+  return std::move(b).take();
+}
+
+}  // namespace tz

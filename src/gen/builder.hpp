@@ -1,0 +1,104 @@
+// Structural netlist builder.
+//
+// Thin fluent layer over Netlist used by the circuit generators: automatic
+// unique naming, n-ary gate helpers that decompose into library arities, and
+// bus utilities. All generators in src/gen/ are deterministic functions of
+// their parameters, so every experiment is exactly reproducible.
+#pragma once
+
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+using Bus = std::vector<NodeId>;
+
+class Builder {
+ public:
+  explicit Builder(std::string circuit_name) : nl_(std::move(circuit_name)) {}
+
+  Netlist take() && { return std::move(nl_); }
+  Netlist& netlist() { return nl_; }
+
+  NodeId input(const std::string& name) { return nl_.add_input(name); }
+
+  Bus input_bus(const std::string& prefix, int width) {
+    Bus b;
+    b.reserve(width);
+    for (int i = 0; i < width; ++i) {
+      b.push_back(input(prefix + std::to_string(i)));
+    }
+    return b;
+  }
+
+  void output(NodeId id) { nl_.mark_output(id); }
+  void output_bus(const Bus& b) {
+    for (NodeId id : b) nl_.mark_output(id);
+  }
+
+  NodeId gate(GateType t, std::span<const NodeId> fanin) {
+    return nl_.add_gate(t, fresh(std::string(to_string(t))), fanin);
+  }
+  NodeId gate(GateType t, std::initializer_list<NodeId> fanin) {
+    return gate(t, std::span<const NodeId>(fanin.begin(), fanin.size()));
+  }
+
+  NodeId not_(NodeId a) { return gate(GateType::Not, {a}); }
+  NodeId buf(NodeId a) { return gate(GateType::Buf, {a}); }
+  NodeId and_(NodeId a, NodeId b) { return gate(GateType::And, {a, b}); }
+  NodeId or_(NodeId a, NodeId b) { return gate(GateType::Or, {a, b}); }
+  NodeId nand_(NodeId a, NodeId b) { return gate(GateType::Nand, {a, b}); }
+  NodeId nor_(NodeId a, NodeId b) { return gate(GateType::Nor, {a, b}); }
+  NodeId xor_(NodeId a, NodeId b) { return gate(GateType::Xor, {a, b}); }
+  NodeId xnor_(NodeId a, NodeId b) { return gate(GateType::Xnor, {a, b}); }
+  NodeId mux(NodeId sel, NodeId a, NodeId b) {
+    return gate(GateType::Mux, {sel, a, b});
+  }
+  NodeId dff(NodeId d) { return gate(GateType::Dff, {d}); }
+
+  /// N-ary reduction built from gates of at most `max_arity` inputs.
+  NodeId reduce(GateType t, std::span<const NodeId> xs, int max_arity = 4);
+  NodeId and_n(std::span<const NodeId> xs) { return reduce(GateType::And, xs); }
+  NodeId or_n(std::span<const NodeId> xs) { return reduce(GateType::Or, xs); }
+  NodeId xor_n(std::span<const NodeId> xs) { return reduce(GateType::Xor, xs); }
+
+  /// Wide AND where input i is inverted when mask bit i is 0 — the classic
+  /// one-hot decode term (rare node when the bus is near-uniform).
+  NodeId decode_term(std::span<const NodeId> bus, unsigned value);
+
+ private:
+  std::string fresh(const std::string& base) {
+    return base + "_" + std::to_string(counter_++);
+  }
+
+  Netlist nl_;
+  unsigned counter_ = 0;
+};
+
+// ---- shared arithmetic blocks (defined in adders.cpp) ----
+
+struct AdderResult {
+  Bus sum;
+  NodeId carry_out = kNoNode;
+};
+
+/// sum = a + b + cin, ripple-carry, |a| == |b|.
+AdderResult ripple_adder(Builder& b, const Bus& a, const Bus& bb, NodeId cin);
+
+/// One-bit full adder (returns {sum, carry}).
+AdderResult full_adder(Builder& b, NodeId x, NodeId y, NodeId cin);
+
+/// Two's-complement subtractor built on the adder: a - b.
+AdderResult subtractor(Builder& b, const Bus& a, const Bus& bb);
+
+/// Equality comparator over two buses.
+NodeId equals(Builder& b, const Bus& a, const Bus& bb);
+
+/// Bitwise mux between two buses.
+Bus mux_bus(Builder& b, NodeId sel, const Bus& a, const Bus& bb);
+
+}  // namespace tz

@@ -1,0 +1,36 @@
+// ISCAS85-class benchmark circuit generators.
+//
+// The original ISCAS85 netlist files are not redistributable in this offline
+// environment, so each benchmark is rebuilt as a structural design of the
+// circuit's documented *function* with matching primary-I/O profile and a
+// comparable gate count (see DESIGN.md, substitution table). The functional
+// structure — wide decodes, deep parity trees, priority chains — is what
+// produces the skewed signal probabilities TrojanZero exploits, and it is
+// faithfully present here.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// c432-class: 27-channel interrupt controller with priority resolution.
+/// 36 inputs (27 requests in three 9-bit buses + 9 enables), 7 outputs.
+Netlist gen_interrupt_controller();
+
+/// c499-class: 32-bit single-error-correcting (SEC) decoder. 41 inputs
+/// (32 data + 8 check + 1 correction enable), 32 outputs.
+Netlist gen_sec32();
+
+/// c880-class: 8-bit ALU with ripple carry, logic unit, wide mode decodes
+/// and parity. 60 inputs, 26 outputs.
+Netlist gen_alu8();
+
+/// c1908-class: 16-bit SEC/DED (single-error-correct, double-error-detect)
+/// with deep syndrome logic. 33 inputs, 25 outputs.
+Netlist gen_secded16();
+
+/// c3540-class: 8-bit ALU with BCD-correct stage, barrel shifter, partial
+/// multiplier array and wide control decode. 50 inputs, 22 outputs.
+Netlist gen_alu_bcd();
+
+}  // namespace tz

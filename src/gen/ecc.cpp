@@ -1,0 +1,176 @@
+// Error-correcting-code benchmark generators (c499 / c1908 class).
+#include "gen/builder.hpp"
+#include "gen/circuits.hpp"
+
+namespace tz {
+namespace {
+
+/// Hamming-style parity groups for `data_bits` data lines and `k` syndrome
+/// bits: data bit d participates in group g when bit g of (d+1)'s expanded
+/// position is set. Deterministic and decodable.
+bool in_group(int data_bit, int group) {
+  // Position of data bit in a Hamming code layout: skip power-of-two slots.
+  int pos = 0, placed = -1;
+  while (placed < data_bit) {
+    ++pos;
+    if ((pos & (pos - 1)) != 0) ++placed;  // non-power-of-two slot
+  }
+  return (pos >> group) & 1;
+}
+
+}  // namespace
+
+Netlist gen_sec32() {
+  Builder b("c499_sec32");
+  const Bus data = b.input_bus("D", 32);
+  const Bus check = b.input_bus("K", 8);
+  const NodeId enable = b.input("EN");
+
+  // Syndrome: parity of each data group XOR the stored check bit.
+  constexpr int kSyn = 8;
+  Bus syndrome;
+  for (int g = 0; g < kSyn; ++g) {
+    std::vector<NodeId> members;
+    for (int d = 0; d < 32; ++d) {
+      if (in_group(d, g % 6)) members.push_back(data[d]);
+    }
+    // Two interleaved layers widen the tree like c499's 5-level XOR fabric.
+    if (g >= 6) {
+      for (int d = g - 6; d < 32; d += 3) members.push_back(data[d]);
+    }
+    members.push_back(check[g]);
+    syndrome.push_back(b.xor_n(members));
+  }
+
+  // Error indicator: syndrome non-zero AND correction enabled.
+  const NodeId any_error = b.or_n(syndrome);
+  const NodeId correcting = b.and_(any_error, enable);
+
+  // Correction decode: one wide AND term per data bit. These terms are the
+  // rare nodes (P1 ~= 2^-8) whose complements exceed the paper's Pth=0.993.
+  for (int d = 0; d < 32; ++d) {
+    unsigned code = 0;
+    for (int g = 0; g < 6; ++g) {
+      if (in_group(d, g)) code |= 1u << g;
+    }
+    // Upper two syndrome bits act as parity confirmation for this half.
+    if (d % 2 == 0) code |= 1u << 6;
+    if ((d / 2) % 2 == 0) code |= 1u << 7;
+    const NodeId term = b.decode_term(syndrome, code);
+    const NodeId flip = b.and_(term, correcting);
+    const NodeId corrected = b.xor_(data[d], flip);
+    b.output(corrected);
+  }
+  b.netlist().check();
+  return std::move(b).take();
+}
+
+Netlist gen_secded16() {
+  Builder b("c1908_secded16");
+  const Bus data = b.input_bus("D", 16);
+  const Bus check = b.input_bus("K", 6);
+  const NodeId parity_in = b.input("P");
+  const Bus mode = b.input_bus("M", 10);
+
+  // Six syndrome bits over Hamming groups, built as deep two-input trees.
+  Bus syndrome;
+  for (int g = 0; g < 6; ++g) {
+    std::vector<NodeId> members;
+    for (int d = 0; d < 16; ++d) {
+      if (in_group(d, g % 5)) members.push_back(data[d]);
+    }
+    if (g == 5) {
+      for (int d = 0; d < 16; d += 2) members.push_back(data[d]);
+    }
+    members.push_back(check[g]);
+    syndrome.push_back(b.reduce(GateType::Xor, members, 2));
+  }
+  // Overall parity across data, checks and the stored parity bit.
+  std::vector<NodeId> all;
+  all.insert(all.end(), data.begin(), data.end());
+  all.insert(all.end(), check.begin(), check.end());
+  all.push_back(parity_in);
+  const NodeId overall = b.reduce(GateType::Xor, all, 2);
+
+  const NodeId syn_nonzero = b.or_n(syndrome);
+  // SEC/DED classification:
+  //   single error  : syndrome != 0 and overall parity flipped
+  //   double error  : syndrome != 0 and overall parity clean
+  const NodeId single_err = b.and_(syn_nonzero, overall);
+  const NodeId double_err = b.and_(syn_nonzero, b.not_(overall));
+
+  // Mode validation: the 10-bit mode bus must match armed patterns for the
+  // corrector to run — wide decodes giving very rare internal nodes, the
+  // analogue of c1908's Pth = 0.9986 candidates (P0 = 1 - 2^-10 = 0.9990).
+  std::vector<NodeId> armed_terms;
+  for (unsigned v : {0x3FFu, 0x000u, 0x155u}) {
+    armed_terms.push_back(b.decode_term(mode, v));
+  }
+  const NodeId armed = b.or_n(armed_terms);
+  const NodeId correcting = b.and_(single_err, armed);
+
+  // Correction decode bank.
+  Bus corrected;
+  for (int d = 0; d < 16; ++d) {
+    unsigned code = 0;
+    for (int g = 0; g < 5; ++g) {
+      if (in_group(d, g)) code |= 1u << g;
+    }
+    if (d % 2 == 0) code |= 1u << 5;
+    const NodeId term = b.decode_term(syndrome, code);
+    const NodeId flip = b.and_(term, correcting);
+    corrected.push_back(b.xor_(data[d], flip));
+  }
+  b.output_bus(corrected);  // 16
+
+  // Scrub pipeline: recompute the syndrome over the *corrected* word and
+  // verify it cancels — the self-checking bank that gives c1908 its ~2x
+  // logic volume over c499.
+  Bus resyndrome;
+  for (int g = 0; g < 6; ++g) {
+    std::vector<NodeId> members;
+    for (int d = 0; d < 16; ++d) {
+      if (in_group(d, g % 5)) members.push_back(corrected[d]);
+    }
+    if (g == 5) {
+      for (int d = 0; d < 16; d += 2) members.push_back(corrected[d]);
+    }
+    members.push_back(check[g]);
+    resyndrome.push_back(b.reduce(GateType::Xor, members, 2));
+  }
+  std::vector<NodeId> resyn_clear;
+  for (NodeId s : resyndrome) resyn_clear.push_back(b.not_(s));
+  // The scrub result must be clean unless an uncorrectable double error hit.
+  const NodeId scrub_ok = b.or_(b.and_n(resyn_clear), double_err);
+
+  // Double-error localization hints: a second wide-decode bank over the
+  // 7-bit {syndrome, overall} word (deepest rare nodes in the circuit).
+  std::vector<NodeId> hint_bus = syndrome;
+  hint_bus.push_back(overall);
+  std::vector<NodeId> hints;
+  for (unsigned v = 0; v < 16; ++v) {
+    hints.push_back(b.decode_term(hint_bus, (v * 37u) & 0x7Fu));
+  }
+  std::vector<NodeId> gated_hints;
+  for (int i = 0; i < 16; ++i) {
+    gated_hints.push_back(b.and_(hints[i], double_err));
+  }
+  const NodeId hint_parity = b.xor_n(gated_hints);
+
+  // Recomputed check bits for write-back.
+  for (int g = 0; g < 6; ++g) {
+    std::vector<NodeId> members;
+    for (int d = 0; d < 16; ++d) {
+      if (in_group(d, g % 5)) members.push_back(corrected[d]);
+    }
+    members.push_back(g == 0 ? hint_parity : single_err);
+    b.output(b.reduce(GateType::Xor, members, 2));  // 6
+  }
+  b.output(single_err);
+  b.output(double_err);
+  b.output(b.and_(b.nor_(single_err, double_err), scrub_ok));  // 25 outputs
+  b.netlist().check();
+  return std::move(b).take();
+}
+
+}  // namespace tz

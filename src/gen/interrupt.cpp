@@ -1,0 +1,98 @@
+// c432-class 27-channel interrupt controller with priority resolution.
+//
+// Three 9-line request buses A, B, C share nine channel-enable lines. Bus A
+// has priority over B, B over C; within a bus, lower channel index wins.
+// Outputs: one grant flag per bus plus a 4-bit encoded channel index of the
+// winning request. Priority chains (AND of many inverted requests) provide
+// the near-certain-0 nodes Algorithm 1 harvests.
+#include "gen/builder.hpp"
+#include "gen/circuits.hpp"
+
+namespace tz {
+namespace {
+
+/// Masked requests for one bus and the per-channel "wins within bus" grants.
+struct BusPriority {
+  Bus grants;       // channel i wins within this bus
+  NodeId any;       // some channel requests on this bus
+};
+
+BusPriority bus_priority(Builder& b, const Bus& req, const Bus& enable) {
+  BusPriority out;
+  Bus masked;
+  for (std::size_t i = 0; i < req.size(); ++i) {
+    masked.push_back(b.and_(req[i], enable[i]));
+  }
+  out.any = b.or_n(masked);
+  for (std::size_t i = 0; i < masked.size(); ++i) {
+    // grant_i = masked_i AND no higher-priority masked request.
+    std::vector<NodeId> terms{masked[i]};
+    for (std::size_t j = 0; j < i; ++j) terms.push_back(b.not_(masked[j]));
+    out.grants.push_back(b.and_n(terms));
+  }
+  return out;
+}
+
+}  // namespace
+
+Netlist gen_interrupt_controller() {
+  Builder b("c432_int27");
+  const Bus req_a = b.input_bus("A", 9);
+  const Bus req_b = b.input_bus("B", 9);
+  const Bus req_c = b.input_bus("C", 9);
+  const Bus enable = b.input_bus("E", 9);
+
+  const BusPriority pa = bus_priority(b, req_a, enable);
+  const BusPriority pb = bus_priority(b, req_b, enable);
+  const BusPriority pc = bus_priority(b, req_c, enable);
+
+  // Bus-level priority: A beats B beats C.
+  const NodeId grant_a = pa.any;
+  const NodeId grant_b = b.and_(pb.any, b.not_(pa.any));
+  const NodeId grant_c = b.and_n(std::vector<NodeId>{
+      pc.any, b.not_(pa.any), b.not_(pb.any)});
+
+  // Winning channel index: OR together the encoded index of the granted
+  // channel on the winning bus.
+  std::vector<NodeId> idx_bits[4];
+  auto accumulate = [&](const BusPriority& p, NodeId bus_grant) {
+    for (std::size_t ch = 0; ch < p.grants.size(); ++ch) {
+      const NodeId active = b.and_(p.grants[ch], bus_grant);
+      for (int bit = 0; bit < 4; ++bit) {
+        if ((ch >> bit) & 1) idx_bits[bit].push_back(active);
+      }
+    }
+  };
+  accumulate(pa, grant_a);
+  accumulate(pb, grant_b);
+  accumulate(pc, grant_c);
+
+  // Hazard-cover redundancy: conservative two-level synthesis keeps
+  // consensus terms to suppress static hazards. OR(x, y, x&y) is logically
+  // OR(x, y), so these AND terms are absorbed — untestable stuck-at sites,
+  // exactly the famously redundant logic of the real c432. They carry
+  // near-zero signal probability and are the zero-risk expendable gates
+  // Algorithm 1 harvests.
+  for (auto& bits : idx_bits) {
+    const std::size_t n = bits.size();
+    for (std::size_t k = 0; k + 2 < n && k < 9; k += 3) {
+      // OR(x, y, z, x&y&z) == OR(x, y, z): the 3-input consensus cover.
+      const NodeId cover = b.gate(
+          GateType::And, {bits[k], bits[k + 1], bits[k + 2]});
+      // A second absorbed level models the deeper redundancy pockets of the
+      // real c432 (OR(x, c) with c = x&y&z&e is still absorbed).
+      bits.push_back(b.and_(cover, enable[k % 9]));
+      bits.push_back(cover);
+    }
+  }
+  b.output(grant_a);
+  b.output(grant_b);
+  b.output(grant_c);
+  for (auto& bits : idx_bits) {
+    b.output(bits.empty() ? b.netlist().const_node(false) : b.or_n(bits));
+  }
+  b.netlist().check();
+  return std::move(b).take();
+}
+
+}  // namespace tz

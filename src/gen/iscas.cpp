@@ -1,0 +1,74 @@
+#include "gen/iscas.hpp"
+
+#include <stdexcept>
+
+#include "gen/circuits.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/rewrite.hpp"
+
+namespace tz {
+
+const std::vector<BenchmarkSpec>& iscas85_specs() {
+  static const std::vector<BenchmarkSpec> specs = {
+      // name    gates  I/P   Pth    |C|  Eg  ctr   P(N)  P(N') P(N'')  A(N)  A(N') A(N'')  Pft
+      {"c432", 160, 36, 0.975, 8, 5, 2, 35.6, 20.83, 27.7, 186.8, 136.0,
+       163.0, 0.9e-4},
+      {"c499", 202, 41, 0.993, 12, 7, 3, 181.9, 173.4, 177.4, 463.4, 396.4,
+       451.5, 6.1e-6},
+      {"c880", 383, 60, 0.992, 27, 11, 3, 77.2, 70.2, 76.4, 365.4, 329.7,
+       362.8, 8.0e-6},
+      {"c1908", 880, 33, 0.9986, 43, 45, 5, 160.9, 151.6, 157.4, 454.7, 446.4,
+       453.6, 6.1e-8},
+      {"c3540", 1669, 50, 0.992, 41, 57, 5, 248.5, 187.2, 241.7, 986.8, 944.3,
+       980.0, 2.0e-6},
+  };
+  return specs;
+}
+
+const BenchmarkSpec& spec_for(const std::string& name) {
+  for (const BenchmarkSpec& s : iscas85_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown benchmark '" + name + "'");
+}
+
+Netlist make_benchmark(const std::string& name) {
+  Netlist nl = [&] {
+    if (name == "c17") return gen_c17();
+    if (name == "c432") return gen_interrupt_controller();
+    if (name == "c499") return gen_sec32();
+    if (name == "c880") return gen_alu8();
+    if (name == "c1908") return gen_secded16();
+    if (name == "c3540") return gen_alu_bcd();
+    throw std::out_of_range("unknown benchmark '" + name + "'");
+  }();
+  // The paper's circuits come out of Design Compiler; fold the constants the
+  // structural builders introduce so the HT-free baseline is synthesis-clean.
+  propagate_constants(nl);
+  nl.sweep_dead_gates();
+  nl.check();
+  return nl.compact();
+}
+
+Netlist gen_c17() {
+  // The genuine ISCAS c17 netlist (public domain, 6 NAND gates).
+  static const char* kC17 = R"(
+# c17 — smallest ISCAS85 benchmark
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return read_bench_string(kC17, "c17");
+}
+
+}  // namespace tz

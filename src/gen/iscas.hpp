@@ -1,0 +1,41 @@
+// Benchmark registry: the five Table I circuits plus the real ISCAS c17.
+//
+// Each entry carries the paper's reported reference values so bench binaries
+// and EXPERIMENTS.md can print paper-vs-measured rows side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// One row of the paper's Table I.
+struct BenchmarkSpec {
+  std::string name;       ///< ISCAS85 name (c432, ...).
+  int paper_gates = 0;    ///< Gate count reported in Table I.
+  int paper_inputs = 0;   ///< Primary input count (I/P column).
+  double pth = 0.0;       ///< Attacker threshold probability used.
+  int paper_candidates = 0;  ///< |C|.
+  int paper_expendable = 0;  ///< Eg.
+  int counter_bits = 0;   ///< HT counter width.
+  double paper_power_n = 0, paper_power_np = 0, paper_power_npp = 0;  // µW
+  double paper_area_n = 0, paper_area_np = 0, paper_area_npp = 0;     // GE
+  double paper_pft = 0;   ///< Trigger probability under random testing.
+};
+
+/// Table I rows, in paper order.
+const std::vector<BenchmarkSpec>& iscas85_specs();
+
+/// Find a spec by name; throws std::out_of_range when unknown.
+const BenchmarkSpec& spec_for(const std::string& name);
+
+/// Instantiate the functional reproduction of a benchmark by name
+/// (c432, c499, c880, c1908, c3540, c17).
+Netlist make_benchmark(const std::string& name);
+
+/// The genuine ISCAS c17 netlist (6 NAND gates), parsed from its .bench text.
+Netlist gen_c17();
+
+}  // namespace tz

@@ -1,0 +1,46 @@
+#include "gen/random_circuit.hpp"
+
+#include <random>
+
+namespace tz {
+
+Netlist random_circuit(const RandomCircuitSpec& spec) {
+  std::mt19937_64 rng(spec.seed);
+  Netlist nl("rand_" + std::to_string(spec.seed));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < spec.num_inputs; ++i) {
+    pool.push_back(nl.add_input("in" + std::to_string(i)));
+  }
+  static constexpr GateType kTypes[] = {
+      GateType::And, GateType::Nand, GateType::Or,  GateType::Nor,
+      GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf,
+  };
+  std::uniform_int_distribution<int> type_dist(0, 7);
+  for (int g = 0; g < spec.num_gates; ++g) {
+    const GateType t = kTypes[type_dist(rng)];
+    const Arity ar = arity_of(t);
+    int fanin_count = ar.min;
+    if (ar.max != ar.min) {
+      std::uniform_int_distribution<int> fd(ar.min,
+                                            std::max(ar.min, spec.max_fanin));
+      fanin_count = fd(rng);
+    }
+    std::vector<NodeId> fanin;
+    // Bias toward recent nodes to get realistic logic depth.
+    std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+    for (int i = 0; i < fanin_count; ++i) {
+      std::size_t idx = std::max(pick(rng), pick(rng));
+      fanin.push_back(pool[idx]);
+    }
+    pool.push_back(nl.add_gate(t, "g" + std::to_string(g), fanin));
+  }
+  const int outs = std::min<int>(spec.num_outputs,
+                                 static_cast<int>(pool.size()));
+  for (int i = 0; i < outs; ++i) {
+    nl.mark_output(pool[pool.size() - 1 - i]);
+  }
+  nl.check();
+  return nl;
+}
+
+}  // namespace tz

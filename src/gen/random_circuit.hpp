@@ -1,0 +1,24 @@
+// Deterministic random DAG circuits for property-based testing.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+struct RandomCircuitSpec {
+  int num_inputs = 8;
+  int num_gates = 50;
+  int num_outputs = 4;
+  int max_fanin = 3;
+  std::uint64_t seed = 1;
+};
+
+/// A random combinational netlist over the full gate alphabet (minus MUX and
+/// DFF unless enabled). Every gate reads previously created nodes, so the
+/// result is acyclic by construction; outputs are drawn from the last gates
+/// so most of the circuit is observable.
+Netlist random_circuit(const RandomCircuitSpec& spec);
+
+}  // namespace tz

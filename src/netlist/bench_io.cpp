@@ -1,0 +1,254 @@
+#include "netlist/bench_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tz {
+namespace {
+
+std::string strip(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("bench:" + std::to_string(line) + ": " + msg);
+}
+
+struct PendingGate {
+  std::string name;
+  GateType type = GateType::Buf;
+  std::vector<std::string> fanin;
+  int line = 0;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in, std::string circuit_name) {
+  Netlist nl(std::move(circuit_name));
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> gates;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    const std::string text = strip(line);
+    if (text.empty()) continue;
+
+    const auto eq = text.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto open = text.find('(');
+      const auto close = text.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close < open) {
+        fail(lineno, "expected INPUT(...)/OUTPUT(...) or assignment");
+      }
+      const std::string kw = strip(text.substr(0, open));
+      const std::string arg = strip(text.substr(open + 1, close - open - 1));
+      if (arg.empty()) fail(lineno, "empty signal name");
+      if (kw == "INPUT" || kw == "input") {
+        nl.add_input(arg);
+      } else if (kw == "OUTPUT" || kw == "output") {
+        output_names.push_back(arg);
+      } else {
+        fail(lineno, "unknown directive '" + kw + "'");
+      }
+      continue;
+    }
+
+    PendingGate g;
+    g.line = lineno;
+    g.name = strip(text.substr(0, eq));
+    if (g.name.empty()) fail(lineno, "empty gate name");
+    const std::string rhs = strip(text.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (open == std::string::npos || close == std::string::npos || close < open) {
+      fail(lineno, "expected GATE(args)");
+    }
+    const std::string mnemonic = strip(rhs.substr(0, open));
+    const auto type = gate_type_from_string(mnemonic);
+    if (!type || *type == GateType::Input) {
+      fail(lineno, "unknown gate type '" + mnemonic + "'");
+    }
+    g.type = *type;
+    std::string args = rhs.substr(open + 1, close - open - 1);
+    std::stringstream ss(args);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const std::string a = strip(tok);
+      if (!a.empty()) g.fanin.push_back(a);
+    }
+    gates.push_back(std::move(g));
+  }
+
+  // Two-pass creation: DFF shells are not needed in .bench combinational
+  // files, but gates may be declared before their fanins; resolve iteratively.
+  std::map<std::string, const PendingGate*> pending;
+  for (const PendingGate& g : gates) {
+    if (pending.contains(g.name)) fail(g.line, "redefinition of '" + g.name + "'");
+    pending.emplace(g.name, &g);
+  }
+  // Emit in dependency order with an explicit DFS (bench files can forward
+  // reference).
+  enum class Mark : char { White, Grey, Black };
+  std::map<std::string, Mark> mark;
+  std::vector<const PendingGate*> stack;
+  auto emit = [&](const PendingGate* root, auto&& self) -> void {
+    if (mark[root->name] == Mark::Black) return;
+    if (mark[root->name] == Mark::Grey) {
+      fail(root->line, "combinational loop through '" + root->name + "'");
+    }
+    mark[root->name] = Mark::Grey;
+    for (const std::string& fi : root->fanin) {
+      if (nl.find(fi) != kNoNode) continue;
+      auto it = pending.find(fi);
+      if (it == pending.end()) {
+        fail(root->line, "undeclared signal '" + fi + "'");
+      }
+      if (root->type != GateType::Dff) self(it->second, self);
+    }
+    if (root->type == GateType::Dff) {
+      // Sequential .bench (ISCAS89 style): treat q as a pseudo-input first if
+      // the d-cone is not yet resolvable. We create the DFF after all
+      // combinational gates; handled by a second pass below.
+      mark[root->name] = Mark::White;  // leave for pass 2
+      return;
+    }
+    std::vector<NodeId> fanin_ids;
+    fanin_ids.reserve(root->fanin.size());
+    for (const std::string& fi : root->fanin) {
+      const NodeId id = nl.find(fi);
+      if (id == kNoNode) fail(root->line, "unresolved fanin '" + fi + "'");
+      fanin_ids.push_back(id);
+    }
+    nl.add_gate(root->type, root->name, fanin_ids);
+    mark[root->name] = Mark::Black;
+  };
+  // Pass 1: combinational gates; DFF q-pins become pseudo sources by creating
+  // the DFF node eagerly when something reads an as-yet-unemitted DFF.
+  // Simpler approach for correctness: create all DFF q nodes as Buf-of-nothing
+  // is impossible, so create DFFs last and forbid reading a DFF before its d
+  // cone exists only if the file is purely combinational. ISCAS85 files are
+  // combinational; our own writer emits DFFs after their fanin. Handle the
+  // general case by emitting DFF readers lazily: first try plain DFS and on
+  // unresolved DFF references, create the DFF with a temporary self-cycle.
+  for (const PendingGate& g : gates) {
+    if (g.type == GateType::Dff) continue;
+    bool reads_dff = false;
+    for (const std::string& fi : g.fanin) {
+      auto it = pending.find(fi);
+      if (it != pending.end() && it->second->type == GateType::Dff) {
+        reads_dff = true;
+      }
+    }
+    if (reads_dff) continue;  // handled in pass 3
+    emit(&g, emit);
+  }
+  // Pass 2a: create every remaining DFF with a placeholder d-input so its
+  // q-pin resolves for readers — sequential feedback (q -> logic -> d) is
+  // legal and must not deadlock the resolver.
+  std::vector<const PendingGate*> dff_fixups;
+  NodeId placeholder = kNoNode;
+  for (const PendingGate& g : gates) {
+    if (g.type != GateType::Dff || mark[g.name] == Mark::Black) continue;
+    if (placeholder == kNoNode) placeholder = nl.const_node(false);
+    nl.add_gate(GateType::Dff, g.name, {placeholder});
+    mark[g.name] = Mark::Black;
+    dff_fixups.push_back(&g);
+  }
+  // Pass 2b: everything else now resolves by iteration.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (const PendingGate& g : gates) {
+      if (mark[g.name] == Mark::Black) continue;
+      bool ready = true;
+      for (const std::string& fi : g.fanin) {
+        if (nl.find(fi) == kNoNode) { ready = false; break; }
+      }
+      if (!ready) continue;
+      std::vector<NodeId> fanin_ids;
+      for (const std::string& fi : g.fanin) fanin_ids.push_back(nl.find(fi));
+      nl.add_gate(g.type, g.name, fanin_ids);
+      mark[g.name] = Mark::Black;
+      progress = true;
+    }
+  }
+  // Pass 2c: relink each placeholder-built DFF to its real d-input.
+  for (const PendingGate* g : dff_fixups) {
+    const NodeId q = nl.find(g->name);
+    const NodeId d = nl.find(g->fanin[0]);
+    if (d == kNoNode) fail(g->line, "unresolved DFF input '" + g->fanin[0] + "'");
+    nl.relink_fanin(q, 0, d);
+  }
+  if (placeholder != kNoNode && nl.node(placeholder).fanout.empty() &&
+      !nl.is_output(placeholder)) {
+    nl.remove_node(placeholder);
+  }
+  for (const PendingGate& g : gates) {
+    if (mark[g.name] != Mark::Black) {
+      fail(g.line, "could not resolve gate '" + g.name +
+                       "' (cycle without a DFF?)");
+    }
+  }
+
+  for (const std::string& out_name : output_names) {
+    const NodeId id = nl.find(out_name);
+    if (id == kNoNode) {
+      throw std::runtime_error("bench: OUTPUT(" + out_name + ") never defined");
+    }
+    nl.mark_output(id);
+  }
+  nl.check();
+  return nl;
+}
+
+Netlist read_bench_string(const std::string& text, std::string circuit_name) {
+  std::istringstream in(text);
+  return read_bench(in, std::move(circuit_name));
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("bench: cannot open '" + path + "'");
+  return read_bench(in, path);
+}
+
+void write_bench(std::ostream& out, const Netlist& nl) {
+  out << "# " << nl.name() << " — " << nl.inputs().size() << " inputs, "
+      << nl.outputs().size() << " outputs, " << nl.gate_count() << " gates\n";
+  for (NodeId id : nl.inputs()) out << "INPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.outputs()) out << "OUTPUT(" << nl.node(id).name << ")\n";
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    if ((is_source(n.type) && !is_const(n.type)) || is_sequential(n.type)) {
+      continue;  // PIs already declared; DFFs are emitted after their fanin
+    }
+    out << n.name << " = " << to_string(n.type) << "(";
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << nl.node(n.fanin[i]).name;
+    }
+    out << ")\n";
+  }
+  // DFFs are sinks in topo_order; emit them explicitly.
+  for (NodeId id : nl.dffs()) {
+    const Node& n = nl.node(id);
+    out << n.name << " = DFF(" << nl.node(n.fanin[0]).name << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_bench(out, nl);
+  return out.str();
+}
+
+}  // namespace tz

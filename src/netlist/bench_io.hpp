@@ -1,0 +1,35 @@
+// Reader/writer for the ISCAS85 .bench netlist dialect.
+//
+// Grammar (as used by the ISCAS85/89 distributions):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(a, b, ...)
+// We additionally accept CONST0()/CONST1() ties, MUX(sel,a,b) and DFF(d),
+// which the TrojanZero transformations introduce.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// Parse a .bench netlist from a stream. Throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Netlist read_bench(std::istream& in, std::string circuit_name = "bench");
+
+/// Parse from an in-memory string (convenience for embedded circuits).
+Netlist read_bench_string(const std::string& text,
+                          std::string circuit_name = "bench");
+
+/// Load from a file path.
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize to .bench text. Gates are emitted in topological order so the
+/// output is directly re-parseable.
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+
+}  // namespace tz

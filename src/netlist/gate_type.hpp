@@ -1,0 +1,65 @@
+// Gate alphabet for the TrojanZero netlist IR.
+//
+// The alphabet covers the ISCAS85 set (AND/NAND/OR/NOR/NOT/BUF/XOR/XNOR),
+// constant tie cells produced by Algorithm 1 when a gate is salvaged, and the
+// MUX/DFF cells needed to build the counter-based hardware Trojan of Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace tz {
+
+enum class GateType : std::uint8_t {
+  Input,   ///< Primary input; no fanin.
+  Const0,  ///< Tie-low cell (logic 0); no fanin.
+  Const1,  ///< Tie-high cell (logic 1); no fanin.
+  Buf,     ///< 1-input buffer.
+  Not,     ///< 1-input inverter.
+  And,     ///< N-input AND, N >= 2.
+  Nand,    ///< N-input NAND, N >= 2.
+  Or,      ///< N-input OR, N >= 2.
+  Nor,     ///< N-input NOR, N >= 2.
+  Xor,     ///< N-input XOR (odd parity).
+  Xnor,    ///< N-input XNOR (even parity).
+  Mux,     ///< 3-input multiplexer: fanin = {sel, a, b}; out = sel ? b : a.
+  Dff,     ///< D flip-flop: fanin = {d}; output is the registered state q.
+};
+
+/// Number of distinct gate types (for table-driven code).
+inline constexpr int kGateTypeCount = 13;
+
+/// True for cells that have no logic fanin (PIs and tie cells).
+constexpr bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// True for the two constant tie cells.
+constexpr bool is_const(GateType t) {
+  return t == GateType::Const0 || t == GateType::Const1;
+}
+
+/// True for state-holding cells (cycle boundary in simulation).
+constexpr bool is_sequential(GateType t) { return t == GateType::Dff; }
+
+/// True for purely combinational logic cells.
+constexpr bool is_combinational(GateType t) {
+  return !is_source(t) && !is_sequential(t);
+}
+
+/// Canonical upper-case mnemonic, as used by the ISCAS85 .bench dialect.
+std::string_view to_string(GateType t);
+
+/// Parse a .bench mnemonic (case-insensitive). Returns nullopt on failure.
+std::optional<GateType> gate_type_from_string(std::string_view s);
+
+/// Valid fanin arity for a gate type: [min, max] (max = -1 means unbounded).
+struct Arity {
+  int min;
+  int max;
+};
+Arity arity_of(GateType t);
+
+}  // namespace tz

@@ -1,0 +1,46 @@
+// SCOAP testability metrics (Goldstein 1979).
+//
+// Combinational controllability CC0/CC1 (number of decisions needed to set
+// a net to 0/1) and observability CO (decisions to propagate a net to a
+// primary output). These are the classical measures behind the
+// testability-first fault ordering of the defender model (test_set.hpp) and
+// give the attacker an independent, simulation-free ranking of how hard a
+// candidate's tie would be to expose: high CC1 + high CO == a net whose
+// rare value is both hard to produce and hard to observe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// Saturating "infinite" testability cost (unreachable / uncontrollable).
+inline constexpr std::uint32_t kScoapInf = 1u << 30;
+
+class Scoap {
+ public:
+  explicit Scoap(const Netlist& nl);
+
+  std::uint32_t cc0(NodeId id) const { return cc0_[id]; }
+  std::uint32_t cc1(NodeId id) const { return cc1_[id]; }
+  std::uint32_t co(NodeId id) const { return co_[id]; }
+
+  /// Cost of *detecting* stuck-at-v at a net: control it to the opposite
+  /// value and observe it (CCv̄ + CO).
+  std::uint32_t detect_cost(NodeId id, bool stuck_at_one) const {
+    const std::uint32_t c = stuck_at_one ? cc0_[id] : cc1_[id];
+    return sat_add(c, co_[id]);
+  }
+
+  static std::uint32_t sat_add(std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t s = static_cast<std::uint64_t>(a) + b;
+    return s > kScoapInf ? kScoapInf : static_cast<std::uint32_t>(s);
+  }
+
+ private:
+  std::vector<std::uint32_t> cc0_, cc1_, co_;
+};
+
+}  // namespace tz

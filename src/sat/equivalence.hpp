@@ -1,0 +1,33 @@
+// Combinational equivalence checking via SAT miters.
+//
+// Two roles in the TrojanZero flow:
+//  * prove a salvaged circuit N' is NOT equivalent to N (Algorithm 1 removals
+//    are real functional changes hidden from the defender's patterns) and
+//    extract the distinguishing input vector;
+//  * extract HT trigger witnesses: an input under which the infected circuit
+//    N'' differs from N.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace tz::sat {
+
+struct EquivalenceResult {
+  bool equivalent = false;
+  bool decided = true;  ///< false when the conflict limit was hit.
+  /// When not equivalent: an input assignment (by PI index) exposing a
+  /// differing primary output.
+  std::vector<bool> counterexample;
+};
+
+/// Check combinational equivalence of two netlists with identical PI/PO
+/// counts (paired by position). DFF outputs, if any, are paired by position
+/// as free frame inputs (single-frame equivalence).
+EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                    std::int64_t conflict_limit = -1);
+
+}  // namespace tz::sat

@@ -1,0 +1,93 @@
+// Compact CDCL SAT solver (MiniSat-style).
+//
+// Two-literal watching, first-UIP conflict learning, VSIDS-like activity
+// with phase saving and geometric restarts. Used by the equivalence checker
+// to prove that TrojanZero rewrites change functionality only off the
+// defender's pattern set, and to extract HT trigger witnesses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tz::sat {
+
+using Var = std::int32_t;
+
+/// Literal encoding: lit = 2*var (positive) or 2*var+1 (negated).
+struct Lit {
+  std::int32_t x = -2;
+
+  static Lit make(Var v, bool neg = false) { return Lit{2 * v + (neg ? 1 : 0)}; }
+  Var var() const { return x >> 1; }
+  bool neg() const { return x & 1; }
+  Lit operator~() const { return Lit{x ^ 1}; }
+  bool operator==(const Lit&) const = default;
+};
+
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+enum class SolveResult : std::uint8_t { Sat, Unsat, Unknown };
+
+class Solver {
+ public:
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a clause (returns false if the database is already unsatisfiable).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solve under optional assumptions; conflict_limit < 0 means unlimited.
+  SolveResult solve(const std::vector<Lit>& assumptions = {},
+                    std::int64_t conflict_limit = -1);
+
+  /// Model access after Sat.
+  bool model_value(Var v) const { return model_[v] == LBool::True; }
+
+  std::int64_t conflicts() const { return conflicts_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoClause = -1;
+
+  LBool value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::Undef) return LBool::Undef;
+    return (v == LBool::True) != l.neg() ? LBool::True : LBool::False;
+  }
+
+  void attach(ClauseRef cr);
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void reduce_learnts();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by lit.x
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<char> phase_;          // saved polarity per var
+  std::vector<double> activity_;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool ok_ = true;
+  std::int64_t conflicts_ = 0;
+  std::vector<char> seen_;
+};
+
+}  // namespace tz::sat

@@ -1,0 +1,122 @@
+#include "sat/tseitin.hpp"
+
+#include <stdexcept>
+
+namespace tz::sat {
+namespace {
+
+/// out <-> AND(ins): (~out | in_i) for all i; (out | ~in_1 | ... | ~in_k).
+void encode_and(Solver& s, Lit out, const std::vector<Lit>& ins) {
+  std::vector<Lit> big{out};
+  for (Lit in : ins) {
+    s.add_binary(~out, in);
+    big.push_back(~in);
+  }
+  s.add_clause(big);
+}
+
+void encode_or(Solver& s, Lit out, const std::vector<Lit>& ins) {
+  std::vector<Lit> big{~out};
+  for (Lit in : ins) {
+    s.add_binary(out, ~in);
+    big.push_back(in);
+  }
+  s.add_clause(big);
+}
+
+/// out <-> a XOR b.
+void encode_xor2(Solver& s, Lit out, Lit a, Lit b) {
+  s.add_ternary(~out, a, b);
+  s.add_ternary(~out, ~a, ~b);
+  s.add_ternary(out, ~a, b);
+  s.add_ternary(out, a, ~b);
+}
+
+}  // namespace
+
+std::vector<Var> encode_netlist(Solver& solver, const Netlist& nl) {
+  std::vector<Var> var(nl.raw_size(), -1);
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id)) var[id] = solver.new_var();
+  }
+  auto lit = [&](NodeId id) { return Lit::make(var[id]); };
+
+  for (NodeId id : nl.topo_order()) {
+    const Node& n = nl.node(id);
+    std::vector<Lit> ins;
+    ins.reserve(n.fanin.size());
+    for (NodeId f : n.fanin) ins.push_back(lit(f));
+    const Lit out = lit(id);
+    switch (n.type) {
+      case GateType::Input:
+      case GateType::Dff:
+        break;  // free variables
+      case GateType::Const0:
+        solver.add_unit(~out);
+        break;
+      case GateType::Const1:
+        solver.add_unit(out);
+        break;
+      case GateType::Buf:
+        solver.add_binary(~out, ins[0]);
+        solver.add_binary(out, ~ins[0]);
+        break;
+      case GateType::Not:
+        solver.add_binary(~out, ~ins[0]);
+        solver.add_binary(out, ins[0]);
+        break;
+      case GateType::And:
+        encode_and(solver, out, ins);
+        break;
+      case GateType::Nand: {
+        const Lit t = Lit::make(solver.new_var());
+        encode_and(solver, t, ins);
+        solver.add_binary(~out, ~t);
+        solver.add_binary(out, t);
+        break;
+      }
+      case GateType::Or:
+        encode_or(solver, out, ins);
+        break;
+      case GateType::Nor: {
+        const Lit t = Lit::make(solver.new_var());
+        encode_or(solver, t, ins);
+        solver.add_binary(~out, ~t);
+        solver.add_binary(out, t);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Chain XOR2 through fresh temporaries.
+        Lit acc = ins[0];
+        for (std::size_t i = 1; i < ins.size(); ++i) {
+          const Lit t = (i + 1 == ins.size() && n.type == GateType::Xor)
+                            ? out
+                            : Lit::make(solver.new_var());
+          encode_xor2(solver, t, acc, ins[i]);
+          acc = t;
+        }
+        if (n.type == GateType::Xnor) {
+          solver.add_binary(~out, ~acc);
+          solver.add_binary(out, acc);
+        } else if (ins.size() == 1) {
+          solver.add_binary(~out, ins[0]);
+          solver.add_binary(out, ~ins[0]);
+        }
+        break;
+      }
+      case GateType::Mux: {
+        // out <-> (sel ? b : a)
+        const Lit sel = ins[0], a = ins[1], b = ins[2];
+        solver.add_ternary(~out, sel, a);
+        solver.add_ternary(out, sel, ~a);
+        solver.add_ternary(~out, ~sel, b);
+        solver.add_ternary(out, ~sel, ~b);
+        break;
+      }
+    }
+  }
+  return var;
+}
+
+}  // namespace tz::sat

@@ -1,0 +1,16 @@
+// Tseitin encoding of a netlist into CNF.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace tz::sat {
+
+/// Encodes every live node of `nl` as one solver variable with the gate
+/// semantics as clauses. DFF outputs are encoded as free variables (one
+/// combinational frame). Returns the NodeId -> Var map.
+std::vector<Var> encode_netlist(Solver& solver, const Netlist& nl);
+
+}  // namespace tz::sat

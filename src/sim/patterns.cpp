@@ -1,0 +1,113 @@
+#include "sim/patterns.hpp"
+
+#include <stdexcept>
+
+namespace tz {
+
+PatternSet::PatternSet(std::size_t num_signals, std::size_t num_patterns)
+    : num_signals_(num_signals),
+      num_patterns_(num_patterns),
+      words_per_signal_((num_patterns + 63) / 64),
+      bits_(num_signals * words_per_signal_, 0) {}
+
+void PatternSet::set(std::size_t pattern, std::size_t signal, bool value) {
+  if (pattern >= num_patterns_ || signal >= num_signals_) {
+    throw std::out_of_range("PatternSet::set");
+  }
+  std::uint64_t& w = bits_[signal * words_per_signal_ + pattern / 64];
+  const std::uint64_t m = std::uint64_t{1} << (pattern % 64);
+  if (value) w |= m; else w &= ~m;
+}
+
+bool PatternSet::get(std::size_t pattern, std::size_t signal) const {
+  if (pattern >= num_patterns_ || signal >= num_signals_) {
+    throw std::out_of_range("PatternSet::get");
+  }
+  const std::uint64_t w = bits_[signal * words_per_signal_ + pattern / 64];
+  return (w >> (pattern % 64)) & 1;
+}
+
+std::span<const std::uint64_t> PatternSet::words(std::size_t signal) const {
+  return {bits_.data() + signal * words_per_signal_, words_per_signal_};
+}
+
+std::span<std::uint64_t> PatternSet::words(std::size_t signal) {
+  return {bits_.data() + signal * words_per_signal_, words_per_signal_};
+}
+
+std::uint64_t PatternSet::tail_mask() const {
+  const std::size_t rem = num_patterns_ % 64;
+  if (rem == 0) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << rem) - 1;
+}
+
+void PatternSet::append(std::span<const bool> bits) {
+  if (bits.size() != num_signals_) throw std::invalid_argument("append: width");
+  PatternSet grown(num_signals_, num_patterns_ + 1);
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    auto dst = grown.words(s);
+    auto src = words(s);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  *this = std::move(grown);
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    set(num_patterns_ - 1, s, bits[s]);
+  }
+}
+
+void PatternSet::append_all(const PatternSet& other) {
+  if (other.num_signals_ != num_signals_) {
+    throw std::invalid_argument("append_all: width mismatch");
+  }
+  PatternSet grown(num_signals_, num_patterns_ + other.num_patterns_);
+  for (std::size_t p = 0; p < num_patterns_; ++p) {
+    for (std::size_t s = 0; s < num_signals_; ++s) {
+      grown.set(p, s, get(p, s));
+    }
+  }
+  for (std::size_t p = 0; p < other.num_patterns_; ++p) {
+    for (std::size_t s = 0; s < num_signals_; ++s) {
+      grown.set(num_patterns_ + p, s, other.get(p, s));
+    }
+  }
+  *this = std::move(grown);
+}
+
+PatternSet random_patterns(std::size_t num_signals, std::size_t num_patterns,
+                           std::uint64_t seed) {
+  PatternSet ps(num_signals, num_patterns);
+  std::mt19937_64 rng(seed);
+  for (std::size_t s = 0; s < num_signals; ++s) {
+    for (std::uint64_t& w : ps.words(s)) w = rng();
+    // Mask the tail so out-of-range bits are deterministic zeros.
+    if (ps.num_words() > 0) ps.words(s).back() &= ps.tail_mask();
+  }
+  return ps;
+}
+
+PatternSet exhaustive_patterns(std::size_t num_signals) {
+  if (num_signals > 24) {
+    throw std::invalid_argument("exhaustive_patterns: too many signals");
+  }
+  const std::size_t n = std::size_t{1} << num_signals;
+  PatternSet ps(num_signals, n);
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t s = 0; s < num_signals; ++s) {
+      ps.set(p, s, (p >> s) & 1);
+    }
+  }
+  return ps;
+}
+
+PatternSet walking_patterns(std::size_t num_signals) {
+  PatternSet ps(num_signals, 2 * num_signals);
+  for (std::size_t i = 0; i < num_signals; ++i) {
+    for (std::size_t s = 0; s < num_signals; ++s) {
+      ps.set(i, s, s == i);                     // walking one
+      ps.set(num_signals + i, s, s != i);       // walking zero
+    }
+  }
+  return ps;
+}
+
+}  // namespace tz

@@ -1,0 +1,58 @@
+// Bit-packed test-pattern sets.
+//
+// A PatternSet stores P assignments to I named signals, packed 64 patterns
+// per machine word so the simulators evaluate 64 patterns per gate visit.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace tz {
+
+class PatternSet {
+ public:
+  PatternSet() = default;
+  PatternSet(std::size_t num_signals, std::size_t num_patterns);
+
+  std::size_t num_signals() const { return num_signals_; }
+  std::size_t num_patterns() const { return num_patterns_; }
+  std::size_t num_words() const { return words_per_signal_; }
+
+  void set(std::size_t pattern, std::size_t signal, bool value);
+  bool get(std::size_t pattern, std::size_t signal) const;
+
+  /// The packed words of one signal (word w holds patterns 64w .. 64w+63).
+  std::span<const std::uint64_t> words(std::size_t signal) const;
+  std::span<std::uint64_t> words(std::size_t signal);
+
+  /// Mask with ones for every valid pattern position in the last word.
+  std::uint64_t tail_mask() const;
+
+  /// Append one pattern given per-signal bits (size == num_signals).
+  void append(std::span<const bool> bits);
+
+  /// Concatenate another set with the same signal count.
+  void append_all(const PatternSet& other);
+
+  bool operator==(const PatternSet&) const = default;
+
+ private:
+  std::size_t num_signals_ = 0;
+  std::size_t num_patterns_ = 0;
+  std::size_t words_per_signal_ = 0;
+  std::vector<std::uint64_t> bits_;  // [signal][word]
+};
+
+/// P uniformly random patterns (deterministic for a given seed).
+PatternSet random_patterns(std::size_t num_signals, std::size_t num_patterns,
+                           std::uint64_t seed);
+
+/// All 2^I patterns; requires num_signals <= 24.
+PatternSet exhaustive_patterns(std::size_t num_signals);
+
+/// Walking-one / walking-zero patterns (2*I patterns), a common bring-up set.
+PatternSet walking_patterns(std::size_t num_signals);
+
+}  // namespace tz

@@ -1,0 +1,235 @@
+#include "sim/simulator.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace tz {
+namespace {
+
+/// Evaluate one gate over packed words. `get` maps NodeId -> word.
+template <typename Get>
+std::uint64_t eval_gate(const Node& n, Get&& get) {
+  switch (n.type) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~std::uint64_t{0};
+    case GateType::Buf: return get(n.fanin[0]);
+    case GateType::Not: return ~get(n.fanin[0]);
+    case GateType::And: {
+      std::uint64_t v = ~std::uint64_t{0};
+      for (NodeId f : n.fanin) v &= get(f);
+      return v;
+    }
+    case GateType::Nand: {
+      std::uint64_t v = ~std::uint64_t{0};
+      for (NodeId f : n.fanin) v &= get(f);
+      return ~v;
+    }
+    case GateType::Or: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v |= get(f);
+      return v;
+    }
+    case GateType::Nor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v |= get(f);
+      return ~v;
+    }
+    case GateType::Xor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v ^= get(f);
+      return v;
+    }
+    case GateType::Xnor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v ^= get(f);
+      return ~v;
+    }
+    case GateType::Mux: {
+      const std::uint64_t s = get(n.fanin[0]);
+      return (~s & get(n.fanin[1])) | (s & get(n.fanin[2]));
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      throw std::logic_error("eval_gate: source node");
+  }
+  return 0;
+}
+
+}  // namespace
+
+BitSimulator::BitSimulator(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {}
+
+NodeValues BitSimulator::run(const PatternSet& inputs,
+                             const std::vector<std::uint64_t>* dff_state) const {
+  const auto& nl = *nl_;
+  if (inputs.num_signals() != nl.inputs().size()) {
+    throw std::invalid_argument("BitSimulator: pattern width != #inputs");
+  }
+  const std::size_t words = inputs.num_words();
+  NodeValues vals(nl.raw_size(), words);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    auto src = inputs.words(i);
+    std::uint64_t* dst = vals.row(nl.inputs()[i]);
+    std::copy(src.begin(), src.end(), dst);
+  }
+  if (dff_state) {
+    if (dff_state->size() != nl.dffs().size()) {
+      throw std::invalid_argument("BitSimulator: dff state size");
+    }
+    for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+      std::uint64_t* dst = vals.row(nl.dffs()[i]);
+      for (std::size_t w = 0; w < words; ++w) dst[w] = (*dff_state)[i];
+    }
+  }
+  for (std::size_t w = 0; w < words; ++w) {
+    for (NodeId id : order_) {
+      const Node& n = nl.node(id);
+      if (n.type == GateType::Input || n.type == GateType::Dff) continue;
+      vals.row(id)[w] =
+          eval_gate(n, [&](NodeId f) { return vals.row(f)[w]; });
+    }
+  }
+  return vals;
+}
+
+PatternSet BitSimulator::outputs(const PatternSet& inputs) const {
+  const NodeValues vals = run(inputs);
+  PatternSet out(nl_->outputs().size(), inputs.num_patterns());
+  for (std::size_t o = 0; o < nl_->outputs().size(); ++o) {
+    auto dst = out.words(o);
+    const std::uint64_t* src = vals.row(nl_->outputs()[o]);
+    for (std::size_t w = 0; w < out.num_words(); ++w) dst[w] = src[w];
+    if (!dst.empty()) dst.back() &= out.tail_mask();
+  }
+  return out;
+}
+
+bool BitSimulator::responses_equal(const PatternSet& a, const PatternSet& b) {
+  if (a.num_signals() != b.num_signals() ||
+      a.num_patterns() != b.num_patterns()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.num_signals(); ++s) {
+    auto wa = a.words(s);
+    auto wb = b.words(s);
+    for (std::size_t w = 0; w + 1 < wa.size(); ++w) {
+      if (wa[w] != wb[w]) return false;
+    }
+    if (!wa.empty() && ((wa.back() ^ wb.back()) & a.tail_mask()) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> count_toggles(const Netlist& nl,
+                                         const PatternSet& inputs) {
+  BitSimulator sim(nl);
+  const NodeValues vals = sim.run(inputs);
+  std::vector<std::uint64_t> toggles(nl.raw_size(), 0);
+  const std::size_t p_count = inputs.num_patterns();
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    const std::uint64_t* row = vals.row(id);
+    // Transitions between consecutive patterns: XOR the bit stream with a
+    // one-position shift of itself and popcount.
+    std::uint64_t total = 0;
+    bool prev = false;
+    bool have_prev = false;
+    for (std::size_t p = 0; p < p_count; ++p) {
+      const bool cur = (row[p / 64] >> (p % 64)) & 1;
+      if (have_prev && cur != prev) ++total;
+      prev = cur;
+      have_prev = true;
+    }
+    toggles[id] = total;
+  }
+  return toggles;
+}
+
+std::vector<double> simulated_one_probability(const Netlist& nl,
+                                              const PatternSet& inputs) {
+  BitSimulator sim(nl);
+  const NodeValues vals = sim.run(inputs);
+  std::vector<double> prob(nl.raw_size(), 0.0);
+  const std::size_t words = inputs.num_words();
+  const std::uint64_t tail = inputs.tail_mask();
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    const std::uint64_t* row = vals.row(id);
+    std::uint64_t ones = 0;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t v = row[w];
+      if (w + 1 == words) v &= tail;
+      ones += static_cast<std::uint64_t>(std::popcount(v));
+    }
+    prob[id] = inputs.num_patterns() == 0
+                   ? 0.0
+                   : static_cast<double>(ones) /
+                         static_cast<double>(inputs.num_patterns());
+  }
+  return prob;
+}
+
+CycleSimulator::CycleSimulator(const Netlist& nl)
+    : nl_(&nl),
+      order_(nl.topo_order()),
+      value_(nl.raw_size(), 0),
+      prev_(nl.raw_size(), 0),
+      toggles_(nl.raw_size(), 0) {}
+
+void CycleSimulator::reset() {
+  std::fill(value_.begin(), value_.end(), 0);
+  std::fill(prev_.begin(), prev_.end(), 0);
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycles_ = 0;
+  has_prev_ = false;
+}
+
+std::vector<bool> CycleSimulator::step(const std::vector<bool>& input_bits) {
+  const auto& nl = *nl_;
+  if (input_bits.size() != nl.inputs().size()) {
+    throw std::invalid_argument("CycleSimulator: input width");
+  }
+  for (std::size_t i = 0; i < input_bits.size(); ++i) {
+    value_[nl.inputs()[i]] = input_bits[i] ? ~std::uint64_t{0} : 0;
+  }
+  // DFF outputs hold state from the previous update; evaluate combinational.
+  for (NodeId id : order_) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input || n.type == GateType::Dff) continue;
+    value_[id] = eval_gate(n, [&](NodeId f) { return value_[f]; });
+  }
+  // Toggle accounting against the previous settled cycle.
+  if (has_prev_) {
+    for (NodeId id = 0; id < nl.raw_size(); ++id) {
+      if (nl.is_alive(id) && ((value_[id] ^ prev_[id]) & 1)) ++toggles_[id];
+    }
+  }
+  prev_ = value_;
+  has_prev_ = true;
+  // Clock edge: DFFs capture d.
+  std::vector<std::uint64_t> next_state(nl.dffs().size());
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    next_state[i] = value_[nl.node(nl.dffs()[i]).fanin[0]];
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    value_[nl.dffs()[i]] = next_state[i];
+  }
+  ++cycles_;
+  std::vector<bool> out(nl.outputs().size());
+  for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+    out[o] = prev_[nl.outputs()[o]] & 1;
+  }
+  return out;
+}
+
+std::vector<bool> CycleSimulator::state() const {
+  std::vector<bool> s(nl_->dffs().size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    s[i] = value_[nl_->dffs()[i]] & 1;
+  }
+  return s;
+}
+
+}  // namespace tz

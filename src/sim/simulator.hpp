@@ -1,0 +1,110 @@
+// Gate-level simulators.
+//
+// BitSimulator evaluates a combinational netlist 64 patterns at a time and is
+// the workhorse behind functional verification (the paper's ModelSim role),
+// fault simulation, Monte-Carlo probability estimation and toggle counting
+// for dynamic power. CycleSimulator adds DFF state for circuits carrying the
+// counter-based Trojan of Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/patterns.hpp"
+
+namespace tz {
+
+/// Per-node simulation values for a block of patterns: value(node, word).
+class NodeValues {
+ public:
+  NodeValues() = default;
+  NodeValues(std::size_t num_nodes, std::size_t num_words)
+      : num_words_(num_words), v_(num_nodes * num_words, 0) {}
+
+  std::uint64_t* row(NodeId id) { return v_.data() + id * num_words_; }
+  const std::uint64_t* row(NodeId id) const { return v_.data() + id * num_words_; }
+  std::size_t num_words() const { return num_words_; }
+  bool bit(NodeId id, std::size_t pattern) const {
+    return (row(id)[pattern / 64] >> (pattern % 64)) & 1;
+  }
+
+ private:
+  std::size_t num_words_ = 0;
+  std::vector<std::uint64_t> v_;
+};
+
+class BitSimulator {
+ public:
+  /// Captures the topological order; the netlist must outlive the simulator
+  /// and must not be structurally modified while in use.
+  explicit BitSimulator(const Netlist& nl);
+
+  /// Evaluate all nodes for the given input patterns. DFF outputs are taken
+  /// from `state` when provided (size = dffs().size()), else 0.
+  NodeValues run(const PatternSet& inputs,
+                 const std::vector<std::uint64_t>* dff_state = nullptr) const;
+
+  /// Evaluate and extract only primary-output values, one signal per output.
+  PatternSet outputs(const PatternSet& inputs) const;
+
+  /// True when both pattern responses are identical on all primary outputs.
+  /// `golden` must come from a netlist with the same output count/order.
+  static bool responses_equal(const PatternSet& a, const PatternSet& b);
+
+  const Netlist& netlist() const { return *nl_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<NodeId> order_;
+};
+
+/// Count of 0->1 and 1->0 transitions per node when patterns are applied in
+/// sequence (pattern p followed by p+1). Used for simulated switching
+/// activity; `toggles[id]` is the total over the sequence.
+std::vector<std::uint64_t> count_toggles(const Netlist& nl,
+                                         const PatternSet& inputs);
+
+/// Fraction of patterns for which each node evaluates to 1 (simulated signal
+/// probability; Monte-Carlo reference for prob/signal_prob.hpp).
+std::vector<double> simulated_one_probability(const Netlist& nl,
+                                              const PatternSet& inputs);
+
+/// Cycle-accurate simulator for netlists with DFFs.
+class CycleSimulator {
+ public:
+  explicit CycleSimulator(const Netlist& nl);
+
+  /// Reset all DFFs to 0 and clear toggle counters.
+  void reset();
+
+  /// Apply one input vector (64 independent pattern lanes share the same
+  /// sequential behaviour only if their inputs agree; for sequential runs use
+  /// one lane). Advances state by one clock. Returns the primary-output bits
+  /// of lane 0.
+  std::vector<bool> step(const std::vector<bool>& input_bits);
+
+  /// Total signal transitions observed per node across all steps (includes
+  /// the combinational settling between consecutive cycles, one evaluation
+  /// per cycle — a zero-delay model).
+  const std::vector<std::uint64_t>& toggles() const { return toggles_; }
+
+  std::uint64_t cycles() const { return cycles_; }
+
+  /// Current DFF state bits, in netlist dff order.
+  std::vector<bool> state() const;
+
+  /// Settled value of a combinational node after the latest step().
+  bool value_of(NodeId id) const { return value_[id] & 1; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint64_t> value_;   // one lane, bit 0 used
+  std::vector<std::uint64_t> prev_;    // previous-cycle values
+  std::vector<std::uint64_t> toggles_;
+  std::uint64_t cycles_ = 0;
+  bool has_prev_ = false;
+};
+
+}  // namespace tz

@@ -1,0 +1,48 @@
+#include "tech/cell_library.hpp"
+
+#include <algorithm>
+
+namespace tz {
+
+CellLibrary CellLibrary::tsmc65_like() {
+  CellLibrary lib;
+  lib.set_name("tz65");
+  lib.set_vdd(1.2);
+  lib.set_clock_hz(100.0e6);
+  lib.set_wire_cap_ff(1.2);
+  lib.set_dff_clock_energy_fj(4.0);
+
+  auto set = [&](GateType t, CellSpec s) { lib.spec(t) = s; };
+  // Sources occupy no standard-cell area and leak nothing (PIs are pads,
+  // ties are negligible feed-through cells).
+  set(GateType::Input, {0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  set(GateType::Const0, {0.0, 0.0, 0.0, 0.0, 0.3, 0.0});
+  set(GateType::Const1, {0.0, 0.0, 0.0, 0.0, 0.3, 0.0});
+  set(GateType::Buf, {0.75, 0.0, 1.2, 1.6, 9.0, 0.0});
+  set(GateType::Not, {0.5, 0.0, 1.0, 1.2, 7.0, 0.0});
+  set(GateType::Nand, {1.0, 0.5, 1.4, 1.8, 14.0, 6.0});
+  set(GateType::And, {1.25, 0.5, 1.4, 2.2, 17.0, 6.0});
+  set(GateType::Nor, {1.0, 0.5, 1.5, 1.9, 15.0, 7.0});
+  set(GateType::Or, {1.25, 0.5, 1.5, 2.3, 18.0, 7.0});
+  set(GateType::Xor, {2.25, 1.0, 2.0, 3.6, 26.0, 12.0});
+  set(GateType::Xnor, {2.25, 1.0, 2.0, 3.6, 26.0, 12.0});
+  set(GateType::Mux, {2.0, 0.0, 1.8, 3.0, 24.0, 0.0});
+  set(GateType::Dff, {4.5, 0.0, 2.2, 7.5, 42.0, 0.0});
+  return lib;
+}
+
+double CellLibrary::area_ge(const Node& n) const {
+  const CellSpec& s = spec(n.type);
+  const int extra =
+      std::max(0, static_cast<int>(n.fanin.size()) - 2);
+  return s.area_ge + extra * s.area_per_extra;
+}
+
+double CellLibrary::leakage_nw(const Node& n) const {
+  const CellSpec& s = spec(n.type);
+  const int extra =
+      std::max(0, static_cast<int>(n.fanin.size()) - 2);
+  return s.leakage_nw + extra * s.leakage_per_extra;
+}
+
+}  // namespace tz

@@ -1,0 +1,75 @@
+// Synthetic standard-cell library (65nm class).
+//
+// Substitutes for the TSMC 65nm library + Synopsys Design Compiler reports
+// used in the paper. Each gate type has area (in NAND2 gate equivalents),
+// per-input pin capacitance, internal switching energy and leakage, with
+// linear scaling in fanin beyond two inputs — the usual shape of standard-
+// cell datasheets. Absolute values are calibrated so that HT-free ISCAS85-
+// class circuits land in the paper's µW / GE ranges (Table I).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+struct CellSpec {
+  double area_ge = 1.0;         ///< Area of the 2-input (or only) variant.
+  double area_per_extra = 0.5;  ///< Additional GE per input beyond two.
+  double input_cap_ff = 1.5;    ///< Capacitance per input pin (fF).
+  double internal_energy_fj = 2.0;  ///< Energy per output toggle (fJ).
+  double leakage_nw = 15.0;     ///< Leakage of the 2-input variant (nW).
+  double leakage_per_extra = 6.0;   ///< Extra leakage per input (nW).
+};
+
+class CellLibrary {
+ public:
+  /// The default 65nm-class library used throughout the reproduction.
+  static CellLibrary tsmc65_like();
+
+  const std::string& name() const { return name_; }
+  double vdd() const { return vdd_; }
+  double clock_hz() const { return clock_hz_; }
+  double wire_cap_ff() const { return wire_cap_ff_; }
+  /// Clock-pin energy charged to every DFF each cycle (fJ).
+  double dff_clock_energy_fj() const { return dff_clock_energy_fj_; }
+
+  const CellSpec& spec(GateType t) const {
+    return specs_[static_cast<std::size_t>(t)];
+  }
+  CellSpec& spec(GateType t) { return specs_[static_cast<std::size_t>(t)]; }
+
+  /// Arity-aware area of a node in gate equivalents.
+  double area_ge(const Node& n) const;
+
+  /// Arity-aware leakage of a node in nanowatts.
+  double leakage_nw(const Node& n) const;
+
+  /// Input pin capacitance a reader presents on one of its fanin nets (fF).
+  double pin_cap_ff(const Node& reader) const {
+    return spec(reader.type).input_cap_ff;
+  }
+
+  /// Energy dissipated inside the cell per output toggle (fJ).
+  double internal_energy_fj(const Node& n) const {
+    return spec(n.type).internal_energy_fj;
+  }
+
+  void set_name(std::string n) { name_ = std::move(n); }
+  void set_vdd(double v) { vdd_ = v; }
+  void set_clock_hz(double f) { clock_hz_ = f; }
+  void set_wire_cap_ff(double c) { wire_cap_ff_ = c; }
+  void set_dff_clock_energy_fj(double e) { dff_clock_energy_fj_ = e; }
+
+ private:
+  std::string name_ = "generic";
+  double vdd_ = 1.2;             // volts
+  double clock_hz_ = 100.0e6;    // evaluation rate for dynamic power
+  double wire_cap_ff_ = 1.2;     // per-fanout-branch wire load
+  double dff_clock_energy_fj_ = 9.0;
+  std::array<CellSpec, kGateTypeCount> specs_{};
+};
+
+}  // namespace tz

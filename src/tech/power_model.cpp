@@ -1,0 +1,77 @@
+#include "tech/power_model.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace tz {
+
+double PowerModel::load_cap_ff(const Netlist& nl, NodeId id) const {
+  const Node& n = nl.node(id);
+  double cap = 0.0;
+  for (NodeId reader : n.fanout) {
+    cap += lib_.pin_cap_ff(nl.node(reader)) + lib_.wire_cap_ff();
+  }
+  return cap;
+}
+
+PowerBreakdown PowerModel::analyze_with_activity(
+    const Netlist& nl, const std::vector<double>& activity) const {
+  PowerBreakdown b;
+  b.dynamic_uw.assign(nl.raw_size(), 0.0);
+  b.leakage_uw.assign(nl.raw_size(), 0.0);
+  b.area_ge.assign(nl.raw_size(), 0.0);
+  const double vdd = lib_.vdd();
+  const double f = lib_.clock_hz();
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    const Node& n = nl.node(id);
+    b.area_ge[id] = lib_.area_ge(n);
+    b.leakage_uw[id] = lib_.leakage_nw(n) * 1e-3;  // nW -> µW
+    const double alpha = activity[id];
+    // Energy per toggle in femtojoules.
+    double energy_fj =
+        lib_.internal_energy_fj(n) +
+        0.5 * load_cap_ff(nl, id) * vdd * vdd;
+    double p_dyn_w = alpha * f * energy_fj * 1e-15;
+    if (n.type == GateType::Dff) {
+      // Clock pin switches every cycle regardless of data activity.
+      p_dyn_w += f * lib_.dff_clock_energy_fj() * 1e-15;
+    }
+    b.dynamic_uw[id] = p_dyn_w * 1e6;  // W -> µW
+    b.totals.dynamic_uw += b.dynamic_uw[id];
+    b.totals.leakage_uw += b.leakage_uw[id];
+    b.totals.area_ge += b.area_ge[id];
+  }
+  return b;
+}
+
+PowerBreakdown PowerModel::analyze(const Netlist& nl,
+                                   const SignalProb& sp) const {
+  std::vector<double> activity(nl.raw_size(), 0.0);
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id)) activity[id] = sp.activity(id);
+  }
+  return analyze_with_activity(nl, activity);
+}
+
+PowerBreakdown PowerModel::analyze(const Netlist& nl) const {
+  const SignalProb sp(nl);
+  return analyze(nl, sp);
+}
+
+PowerBreakdown PowerModel::analyze_simulated(const Netlist& nl,
+                                             const PatternSet& stimulus) const {
+  const std::vector<std::uint64_t> toggles = count_toggles(nl, stimulus);
+  std::vector<double> activity(nl.raw_size(), 0.0);
+  const double steps =
+      stimulus.num_patterns() > 1
+          ? static_cast<double>(stimulus.num_patterns() - 1)
+          : 1.0;
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id)) {
+      activity[id] = static_cast<double>(toggles[id]) / steps;
+    }
+  }
+  return analyze_with_activity(nl, activity);
+}
+
+}  // namespace tz

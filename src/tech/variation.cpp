@@ -1,0 +1,52 @@
+#include "tech/variation.hpp"
+
+#include <cmath>
+
+namespace tz {
+
+DieSample VariationModel::sample_die(std::size_t raw_size) {
+  DieSample die;
+  die.leakage_scale.resize(raw_size);
+  die.dynamic_scale.resize(raw_size);
+  std::normal_distribution<double> g01(0.0, 1.0);
+  die.die_scale = std::exp(spec_.die_sigma * g01(rng_));
+  for (std::size_t i = 0; i < raw_size; ++i) {
+    die.leakage_scale[i] = std::exp(spec_.leakage_sigma * g01(rng_));
+    die.dynamic_scale[i] = 1.0 + spec_.dynamic_sigma * g01(rng_);
+    if (die.dynamic_scale[i] < 0.5) die.dynamic_scale[i] = 0.5;
+  }
+  return die;
+}
+
+PowerReport VariationModel::measure(const Netlist& nl,
+                                    const PowerBreakdown& nominal,
+                                    const DieSample& die) {
+  PowerReport r;
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    r.dynamic_uw += nominal.dynamic_uw[id] * die.dynamic_scale[id];
+    r.leakage_uw += nominal.leakage_uw[id] * die.leakage_scale[id];
+    r.area_ge += nominal.area_ge[id];
+  }
+  r.dynamic_uw *= die.die_scale;
+  r.leakage_uw *= die.die_scale;
+  std::normal_distribution<double> noise(1.0, spec_.measurement_sigma);
+  r.dynamic_uw *= noise(rng_);
+  r.leakage_uw *= noise(rng_);
+  return r;
+}
+
+std::vector<double> VariationModel::noisy_leakage(const Netlist& nl,
+                                                  const PowerBreakdown& nominal,
+                                                  const DieSample& die) {
+  std::vector<double> leak(nl.raw_size(), 0.0);
+  std::normal_distribution<double> noise(1.0, spec_.measurement_sigma);
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (!nl.is_alive(id)) continue;
+    leak[id] = nominal.leakage_uw[id] * die.leakage_scale[id] *
+               die.die_scale * noise(rng_);
+  }
+  return leak;
+}
+
+}  // namespace tz

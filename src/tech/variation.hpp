@@ -1,0 +1,59 @@
+// Process-variation and measurement-noise model.
+//
+// Post-silicon power-based HT detection ([10]-[12]) has to see through die-
+// to-die and within-die process variation plus measurement noise; detectors
+// in src/detect/ are therefore evaluated on populations of "fabricated"
+// chips whose per-gate leakage and switching energy are perturbed by this
+// model. Lognormal leakage variation follows the standard Vth-shift model;
+// dynamic energy gets a smaller Gaussian spread.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "tech/power_model.hpp"
+
+namespace tz {
+
+struct VariationSpec {
+  double leakage_sigma = 0.08;     ///< Within-die lognormal sigma on leakage.
+  double dynamic_sigma = 0.03;     ///< Within-die Gaussian sigma on energy.
+  double die_sigma = 0.04;         ///< Die-to-die global scale sigma.
+  double measurement_sigma = 0.01; ///< Per-measurement instrument noise.
+};
+
+/// One fabricated die: per-node multiplicative scale factors.
+struct DieSample {
+  std::vector<double> leakage_scale;
+  std::vector<double> dynamic_scale;
+  double die_scale = 1.0;
+};
+
+class VariationModel {
+ public:
+  VariationModel(VariationSpec spec, std::uint64_t seed)
+      : spec_(spec), rng_(seed) {}
+
+  const VariationSpec& spec() const { return spec_; }
+
+  /// Draw one die for a netlist with `raw_size` node slots.
+  DieSample sample_die(std::size_t raw_size);
+
+  /// Apply a die's factors to a nominal per-node breakdown and return the
+  /// noisy observed totals (one "measurement" of the whole chip).
+  PowerReport measure(const Netlist& nl, const PowerBreakdown& nominal,
+                      const DieSample& die);
+
+  /// Per-node observed leakage for gate-level characterization experiments.
+  std::vector<double> noisy_leakage(const Netlist& nl,
+                                    const PowerBreakdown& nominal,
+                                    const DieSample& die);
+
+ private:
+  VariationSpec spec_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace tz

@@ -1,0 +1,100 @@
+// Tests for the .bench reader/writer.
+#include <gtest/gtest.h>
+
+#include "gen/iscas.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+namespace {
+
+TEST(BenchIO, ParsesC17) {
+  const Netlist c17 = gen_c17();
+  EXPECT_EQ(c17.inputs().size(), 5u);
+  EXPECT_EQ(c17.outputs().size(), 2u);
+  EXPECT_EQ(c17.gate_count(), 6u);
+  const auto h = c17.type_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::Nand)], 6u);
+}
+
+TEST(BenchIO, C17TruthSpotChecks) {
+  const Netlist c17 = gen_c17();
+  // With all inputs 0: 10=NAND(0,0)=1, 11=1, 16=NAND(0,1)=1, 19=1,
+  // 22=NAND(1,1)=0, 23=0.
+  PatternSet ps(5, 1);
+  const PatternSet out = BitSimulator(c17).outputs(ps);
+  EXPECT_FALSE(out.get(0, 0));
+  EXPECT_FALSE(out.get(0, 1));
+}
+
+TEST(BenchIO, CommentsAndBlanksIgnored) {
+  const Netlist nl = read_bench_string(
+      "# header\n\nINPUT(x)\n  # indented comment\nOUTPUT(y)\ny = NOT(x) # eol\n");
+  EXPECT_EQ(nl.gate_count(), 1u);
+}
+
+TEST(BenchIO, ForwardReferencesResolve) {
+  const Netlist nl = read_bench_string(
+      "INPUT(a)\nOUTPUT(z)\nz = AND(m, a)\nm = NOT(a)\n");
+  EXPECT_EQ(nl.gate_count(), 2u);
+}
+
+TEST(BenchIO, UndeclaredSignalFails) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, RedefinitionFails) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIO, UndefinedOutputFails) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(zz)\nq = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, CombinationalLoopFails) {
+  EXPECT_THROW(read_bench_string(
+                   "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, UnknownGateFails) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\nz = BLORB(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, DffNetlistsRoundTrip) {
+  const std::string text =
+      "INPUT(en)\nOUTPUT(o)\nq = DFF(d)\nd = XOR(q, en)\no = BUF(q)\n";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  const Netlist again = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(again.dffs().size(), 1u);
+  EXPECT_EQ(again.gate_count(), nl.gate_count());
+}
+
+class BenchRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BenchRoundTrip, WriteParseAgree) {
+  const Netlist nl = make_benchmark(GetParam());
+  const Netlist again = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(again.inputs().size(), nl.inputs().size());
+  EXPECT_EQ(again.outputs().size(), nl.outputs().size());
+  EXPECT_EQ(again.gate_count(), nl.gate_count());
+  // Functional identity on random vectors.
+  const PatternSet ps = random_patterns(nl.inputs().size(), 192, 3);
+  const PatternSet a = BitSimulator(nl).outputs(ps);
+  const PatternSet b = BitSimulator(again).outputs(ps);
+  EXPECT_TRUE(BitSimulator::responses_equal(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, BenchRoundTrip,
+                         ::testing::Values("c17", "c432", "c499", "c880",
+                                           "c1908", "c3540"));
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,146 @@
+// Tests for the power-based detection baselines ([10], [11], [12]).
+#include <gtest/gtest.h>
+
+#include "core/ht_library.hpp"
+#include "core/report.hpp"
+#include "detect/gate_characterization.hpp"
+#include "detect/power_trace.hpp"
+#include "detect/statistical_learning.hpp"
+#include "gen/iscas.hpp"
+
+namespace tz {
+namespace {
+
+PowerModel model() { return PowerModel(CellLibrary::tsmc65_like()); }
+
+/// A crude additive HT: extra always-powered gates bolted onto the circuit,
+/// the attack model every baseline detector assumes.
+Netlist additive_ht(const Netlist& golden, int gates) {
+  Netlist dut = golden;
+  for (int g = 0; g < gates; ++g) {
+    add_dummy_gate(dut, dut.inputs()[g % dut.inputs().size()], GateType::Xor,
+                   "add_ht");
+  }
+  return dut;
+}
+
+TEST(PowerTrace, CleanDutNotFlagged) {
+  const Netlist nl = make_benchmark("c499");
+  const PowerModel pm = model();
+  const DetectionResult r = detect_dynamic_power(nl, nl, pm);
+  EXPECT_FALSE(r.detected);
+  EXPECT_NEAR(r.overhead_percent, 0.0, 3.0);
+}
+
+TEST(PowerTrace, LargeAdditiveHtFlagged) {
+  const Netlist nl = make_benchmark("c499");
+  const PowerModel pm = model();
+  const Netlist dut = additive_ht(nl, 40);
+  const DetectionResult r = detect_dynamic_power(nl, dut, pm);
+  EXPECT_TRUE(r.detected);
+  EXPECT_GT(r.overhead_percent, 0.0);
+}
+
+TEST(PowerTrace, TotalPowerVariantWorks) {
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  EXPECT_FALSE(detect_total_power(nl, nl, pm).detected);
+  EXPECT_TRUE(detect_total_power(nl, additive_ht(nl, 60), pm).detected);
+}
+
+TEST(PowerTrace, MinimumDetectableOverheadIsSmallButPositive) {
+  const Netlist nl = make_benchmark("c499");
+  const PowerModel pm = model();
+  const double pct = min_detectable_dynamic_overhead(nl, pm);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 20.0);  // the detector is useful, not omniscient
+}
+
+TEST(Glc, CleanDutNotFlagged) {
+  const Netlist nl = make_benchmark("c880");
+  const DetectionResult r = detect_leakage_glc(nl, nl, model());
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Glc, AdditiveLeakageFlagged) {
+  const Netlist nl = make_benchmark("c880");
+  const PowerModel pm = model();
+  const DetectionResult r = detect_leakage_glc(nl, additive_ht(nl, 50), pm);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(Glc, CharacterizationBeatsRawTotalOnLeakage) {
+  // GLC normalizes out the die corner, so its minimum detectable leakage
+  // overhead must not be worse than a couple of per-gate leakages.
+  const Netlist nl = make_benchmark("c499");
+  const PowerModel pm = model();
+  const double pct = min_detectable_leakage_overhead(nl, pm);
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 15.0);
+}
+
+TEST(Learning, CleanPopulationInsideBoundary) {
+  const Netlist nl = make_benchmark("c432");
+  const DetectionResult r = detect_statistical_learning(nl, nl, model());
+  EXPECT_FALSE(r.detected);
+}
+
+TEST(Learning, GrossAdditiveHtOutsideBoundary) {
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  const DetectionResult r =
+      detect_statistical_learning(nl, additive_ht(nl, 80), pm);
+  EXPECT_TRUE(r.detected);
+}
+
+TEST(Learning, MinAreaOverheadBounded) {
+  const Netlist nl = make_benchmark("c499");
+  const double pct = min_detectable_area_overhead(nl, model());
+  EXPECT_GT(pct, 0.0);
+  EXPECT_LT(pct, 25.0);
+}
+
+// ---- The headline claim: TrojanZero evades all three baselines ----
+
+class TrojanZeroEvades : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(TrojanZeroEvades, AllThreeDetectors) {
+  const FlowResult flow = run_trojanzero_flow(GetParam());
+  ASSERT_TRUE(flow.insertion.success) << GetParam();
+  const PowerModel pm = model();
+  const Netlist& golden = flow.original;
+  const Netlist& infected = flow.insertion.infected;
+
+  EXPECT_FALSE(detect_dynamic_power(golden, infected, pm).detected);
+  EXPECT_FALSE(detect_total_power(golden, infected, pm).detected);
+  EXPECT_FALSE(detect_leakage_glc(golden, infected, pm).detected);
+  EXPECT_FALSE(detect_statistical_learning(golden, infected, pm).detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, TrojanZeroEvades,
+                         ::testing::Values("c432", "c499", "c880"));
+
+TEST(Contrast, SameTrojanWithoutSalvageIsDetected) {
+  // The zero-footprint property comes from Algorithm 1, not from the HT
+  // being small: inserting the identical HT additively (no salvage) must
+  // push the totals up enough for at least one baseline to fire.
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  const DefenderSuite suite =
+      make_defender_suite(nl, FlowOptions::atpg_only_defender());
+  // Fake a "no salvage" result: N' = N.
+  SalvageResult no_salvage;
+  no_salvage.modified = nl.compact();
+  no_salvage.power_before = pm.analyze(nl).totals;
+  no_salvage.power_after = no_salvage.power_before;
+  InsertionOptions opt;
+  opt.library = {counter_trojan(3)};
+  const InsertionResult ins = insert_trojan(nl, no_salvage, suite, pm, opt);
+  // Algorithm 2 itself refuses the additive insertion (caps exceeded) —
+  // the paper's point that naive HTs are power/area-visible.
+  EXPECT_FALSE(ins.success);
+  EXPECT_GT(ins.fail_caps, 0);
+}
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,285 @@
+// Functional tests for the benchmark circuit generators.
+#include <gtest/gtest.h>
+
+#include "gen/circuits.hpp"
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+namespace {
+
+/// Helper: run one input assignment through a circuit.
+std::vector<bool> eval_once(const Netlist& nl, const std::vector<bool>& in) {
+  PatternSet ps(nl.inputs().size(), 1);
+  for (std::size_t s = 0; s < in.size(); ++s) ps.set(0, s, in[s]);
+  const PatternSet out = BitSimulator(nl).outputs(ps);
+  std::vector<bool> o(out.num_signals());
+  for (std::size_t s = 0; s < o.size(); ++s) o[s] = out.get(0, s);
+  return o;
+}
+
+std::size_t input_index(const Netlist& nl, const std::string& name) {
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    if (nl.node(nl.inputs()[i]).name == name) return i;
+  }
+  throw std::out_of_range("no input " + name);
+}
+
+TEST(Generators, TableIInterfaceProfiles) {
+  for (const BenchmarkSpec& spec : iscas85_specs()) {
+    const Netlist nl = make_benchmark(spec.name);
+    EXPECT_EQ(nl.inputs().size(), static_cast<std::size_t>(spec.paper_inputs))
+        << spec.name;
+    EXPECT_GT(nl.gate_count(), 0u);
+    nl.check();
+  }
+}
+
+TEST(Generators, Deterministic) {
+  for (const char* name : {"c432", "c880"}) {
+    const std::string a = write_bench_string(make_benchmark(name));
+    const std::string b = write_bench_string(make_benchmark(name));
+    EXPECT_EQ(a, b) << name;
+  }
+}
+
+TEST(Generators, GateCountOrderingMatchesPaper) {
+  // Relative sizes must track Table I: c432 < c499/c880 < c1908 < c3540.
+  const auto gates = [](const char* n) {
+    return make_benchmark(n).gate_count();
+  };
+  const auto g432 = gates("c432"), g499 = gates("c499"), g880 = gates("c880"),
+             g1908 = gates("c1908"), g3540 = gates("c3540");
+  EXPECT_LT(g432, g1908);
+  EXPECT_LT(g499, g1908);
+  EXPECT_LT(g880, g1908);
+  EXPECT_LT(g1908, g3540);
+}
+
+TEST(InterruptController, HighestPriorityBusWins) {
+  const Netlist nl = gen_interrupt_controller();
+  std::vector<bool> in(nl.inputs().size(), false);
+  // Enable all channels; request channel 3 on bus A and channel 2 on bus B.
+  for (int e = 0; e < 9; ++e) in[input_index(nl, "E" + std::to_string(e))] = true;
+  in[input_index(nl, "A3")] = true;
+  in[input_index(nl, "B2")] = true;
+  const auto out = eval_once(nl, in);
+  EXPECT_TRUE(out[0]);   // grant A
+  EXPECT_FALSE(out[1]);  // B loses to A
+  EXPECT_FALSE(out[2]);
+  // Encoded index = 3 (bits 0 and 1 set).
+  EXPECT_TRUE(out[3]);
+  EXPECT_TRUE(out[4]);
+  EXPECT_FALSE(out[5]);
+  EXPECT_FALSE(out[6]);
+}
+
+TEST(InterruptController, DisabledChannelIgnored) {
+  const Netlist nl = gen_interrupt_controller();
+  std::vector<bool> in(nl.inputs().size(), false);
+  in[input_index(nl, "A4")] = true;  // requested but enable E4 low
+  const auto out = eval_once(nl, in);
+  EXPECT_FALSE(out[0]);
+  EXPECT_FALSE(out[1]);
+  EXPECT_FALSE(out[2]);
+}
+
+TEST(InterruptController, LowerChannelBeatsHigherWithinBus) {
+  const Netlist nl = gen_interrupt_controller();
+  std::vector<bool> in(nl.inputs().size(), false);
+  for (int e = 0; e < 9; ++e) in[input_index(nl, "E" + std::to_string(e))] = true;
+  in[input_index(nl, "C1")] = true;
+  in[input_index(nl, "C6")] = true;
+  const auto out = eval_once(nl, in);
+  EXPECT_TRUE(out[2]);  // grant C
+  // Winning index 1: bit0 only.
+  EXPECT_TRUE(out[3]);
+  EXPECT_FALSE(out[4]);
+  EXPECT_FALSE(out[5]);
+  EXPECT_FALSE(out[6]);
+}
+
+TEST(Sec32, CleanWordPassesThrough) {
+  const Netlist nl = gen_sec32();
+  std::vector<bool> in(nl.inputs().size(), false);
+  // Arbitrary data, checks = recomputed parity. Easiest clean case: all
+  // zeros with zero checks is a valid codeword.
+  in[input_index(nl, "EN")] = true;
+  const auto out = eval_once(nl, in);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FALSE(out[i]);
+}
+
+TEST(Sec32, SingleBitErrorIsCorrected) {
+  const Netlist nl = gen_sec32();
+  // Flipping one data bit of the all-zero codeword makes the syndrome point
+  // exactly at that bit; the decoder flips it back and the output equals
+  // the clean word — the defining SEC property.
+  std::vector<bool> clean(nl.inputs().size(), false);
+  clean[input_index(nl, "EN")] = true;
+  std::vector<bool> corrupted = clean;
+  corrupted[input_index(nl, "D5")] = true;
+  const auto a = eval_once(nl, clean);
+  const auto b = eval_once(nl, corrupted);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sec32, DisabledCorrectionIsPassthrough) {
+  const Netlist nl = gen_sec32();
+  std::vector<bool> in(nl.inputs().size(), false);
+  in[input_index(nl, "D7")] = true;   // data bit set, EN=0
+  in[input_index(nl, "K2")] = true;   // bogus check: would trigger corrector
+  const auto out = eval_once(nl, in);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i == 7);  // exact passthrough of data
+  }
+}
+
+TEST(Alu8, AddsWithCarry) {
+  const Netlist nl = gen_alu8();
+  std::vector<bool> in(nl.inputs().size(), false);
+  // A=0x0F, B=0x01, SEL=0 (add path), CIN=0 -> R=0x10.
+  for (int i = 0; i < 4; ++i) in[input_index(nl, "A" + std::to_string(i))] = true;
+  in[input_index(nl, "B0")] = true;
+  const auto out = eval_once(nl, in);
+  // R bus occupies outputs 0..7.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], i == 4) << "bit " << i;
+}
+
+TEST(Alu8, CarryInPropagates) {
+  const Netlist nl = gen_alu8();
+  std::vector<bool> base(nl.inputs().size(), false);
+  std::vector<bool> with_cin = base;
+  with_cin[input_index(nl, "CIN")] = true;
+  const auto a = eval_once(nl, base);
+  const auto b = eval_once(nl, with_cin);
+  EXPECT_FALSE(a[0]);
+  EXPECT_TRUE(b[0]);  // 0 + 0 + cin = 1
+}
+
+TEST(Alu8, LogicOpsSelectable) {
+  const Netlist nl = gen_alu8();
+  std::vector<bool> in(nl.inputs().size(), false);
+  in[input_index(nl, "A0")] = true;  // A=1, B=0
+  in[input_index(nl, "SEL0")] = true;  // select AND result
+  const auto and_out = eval_once(nl, in);
+  EXPECT_FALSE(and_out[0]);  // 1 AND 0 = 0
+  in[input_index(nl, "SEL0")] = false;
+  in[input_index(nl, "SEL1")] = true;  // select OR
+  const auto or_out = eval_once(nl, in);
+  EXPECT_TRUE(or_out[0]);  // 1 OR 0 = 1
+}
+
+TEST(Secded16, CleanWordReportsNoError) {
+  const Netlist nl = gen_secded16();
+  std::vector<bool> in(nl.inputs().size(), false);  // all-zero codeword
+  const auto out = eval_once(nl, in);
+  const std::size_t n = out.size();
+  EXPECT_FALSE(out[n - 3]);  // single_err
+  EXPECT_FALSE(out[n - 2]);  // double_err
+  EXPECT_TRUE(out[n - 1]);   // no-error flag
+}
+
+TEST(Secded16, SingleErrorFlagged) {
+  const Netlist nl = gen_secded16();
+  std::vector<bool> in(nl.inputs().size(), false);
+  in[input_index(nl, "D3")] = true;  // one data bit flipped
+  const auto out = eval_once(nl, in);
+  const std::size_t n = out.size();
+  EXPECT_TRUE(out[n - 3]);
+  EXPECT_FALSE(out[n - 2]);
+  EXPECT_FALSE(out[n - 1]);
+}
+
+TEST(Secded16, DoubleErrorDetectedNotCorrected) {
+  const Netlist nl = gen_secded16();
+  std::vector<bool> in(nl.inputs().size(), false);
+  in[input_index(nl, "D3")] = true;
+  in[input_index(nl, "D9")] = true;  // two flips: parity clean, syndrome not
+  const auto out = eval_once(nl, in);
+  const std::size_t n = out.size();
+  EXPECT_FALSE(out[n - 3]);
+  EXPECT_TRUE(out[n - 2]);
+  EXPECT_FALSE(out[n - 1]);
+}
+
+TEST(AluBcd, MultiplierPathComputesProduct) {
+  const Netlist nl = gen_alu_bcd();
+  std::vector<bool> in(nl.inputs().size(), false);
+  // EN=1 selects the multiplier accumulator; A=5, M=3 -> product 15.
+  in[input_index(nl, "EN")] = true;
+  in[input_index(nl, "A0")] = true;
+  in[input_index(nl, "A2")] = true;
+  in[input_index(nl, "M0")] = true;
+  in[input_index(nl, "M1")] = true;
+  const auto out = eval_once(nl, in);
+  int r = 0;
+  for (int i = 0; i < 8; ++i) r |= out[i] << i;
+  EXPECT_EQ(r, 15);
+}
+
+TEST(AluBcd, AdderPathAdds) {
+  const Netlist nl = gen_alu_bcd();
+  std::vector<bool> in(nl.inputs().size(), false);
+  // SEL=0 -> A+B; A=0x21, B=0x13 -> 0x34 (no BCD, no shift, EN=0).
+  in[input_index(nl, "A0")] = true;
+  in[input_index(nl, "A5")] = true;
+  in[input_index(nl, "B0")] = true;
+  in[input_index(nl, "B1")] = true;
+  in[input_index(nl, "B4")] = true;
+  const auto out = eval_once(nl, in);
+  int r = 0;
+  for (int i = 0; i < 8; ++i) r |= out[i] << i;
+  EXPECT_EQ(r, 0x21 + 0x13);
+}
+
+TEST(C432Redundancy, ConsensusTermsAreAbsorbed) {
+  // The hazard-cover ANDs must not affect functionality: compare against
+  // random stimulus with those gates tied to 0 — identical responses.
+  Netlist nl = gen_interrupt_controller();
+  const PatternSet ps = random_patterns(nl.inputs().size(), 512, 99);
+  const PatternSet before = BitSimulator(nl).outputs(ps);
+  // Tie every AND gate that feeds only a single OR and has near-zero
+  // probability of being 1 (the consensus covers) — conservative subset:
+  // the gates named by the generator after the grant logic.
+  // Instead of name-matching, verify via simulation that the circuit has
+  // at least one gate whose tie-to-0 leaves all 512 responses unchanged.
+  bool found_absorbed = false;
+  for (NodeId id = 0; id < nl.raw_size() && !found_absorbed; ++id) {
+    if (!nl.is_alive(id) || nl.node(id).type != GateType::And) continue;
+    if (nl.is_output(id) || nl.node(id).fanout.size() != 1) continue;
+    Netlist trial = nl;
+    const NodeId tie = trial.const_node(false);
+    trial.rewire_and_remove(id, tie);
+    trial.sweep_dead_gates();
+    const PatternSet after = BitSimulator(trial).outputs(ps);
+    found_absorbed = BitSimulator::responses_equal(before, after);
+  }
+  EXPECT_TRUE(found_absorbed);
+}
+
+TEST(RandomCircuit, RespectsSpec) {
+  RandomCircuitSpec spec;
+  spec.num_inputs = 6;
+  spec.num_gates = 30;
+  spec.num_outputs = 3;
+  spec.seed = 4;
+  const Netlist nl = random_circuit(spec);
+  EXPECT_EQ(nl.inputs().size(), 6u);
+  EXPECT_EQ(nl.outputs().size(), 3u);
+  EXPECT_EQ(nl.gate_count(), 30u);
+  nl.check();
+}
+
+TEST(RandomCircuit, SeedsDiffer) {
+  RandomCircuitSpec a, b;
+  a.seed = 1;
+  b.seed = 2;
+  EXPECT_NE(write_bench_string(random_circuit(a)),
+            write_bench_string(random_circuit(b)));
+}
+
+}  // namespace
+}  // namespace tz

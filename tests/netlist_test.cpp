@@ -1,0 +1,239 @@
+// Unit tests for the netlist IR.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+namespace {
+
+Netlist two_gate() {
+  Netlist nl("two");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  const NodeId h = nl.add_gate(GateType::Not, "h", {g});
+  nl.mark_output(h);
+  return nl;
+}
+
+TEST(GateType, RoundTripStrings) {
+  for (int i = 0; i < kGateTypeCount; ++i) {
+    const auto t = static_cast<GateType>(i);
+    const auto parsed = gate_type_from_string(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(GateType, ParseIsCaseInsensitive) {
+  EXPECT_EQ(gate_type_from_string("nand"), GateType::Nand);
+  EXPECT_EQ(gate_type_from_string("NaNd"), GateType::Nand);
+  EXPECT_EQ(gate_type_from_string("BUFF"), GateType::Buf);
+}
+
+TEST(GateType, UnknownMnemonicRejected) {
+  EXPECT_FALSE(gate_type_from_string("FROB").has_value());
+  EXPECT_FALSE(gate_type_from_string("").has_value());
+}
+
+TEST(GateType, Classification) {
+  EXPECT_TRUE(is_source(GateType::Input));
+  EXPECT_TRUE(is_source(GateType::Const0));
+  EXPECT_TRUE(is_const(GateType::Const1));
+  EXPECT_FALSE(is_const(GateType::Input));
+  EXPECT_TRUE(is_sequential(GateType::Dff));
+  EXPECT_TRUE(is_combinational(GateType::Nand));
+  EXPECT_FALSE(is_combinational(GateType::Dff));
+  EXPECT_FALSE(is_combinational(GateType::Input));
+}
+
+TEST(Netlist, BuildAndQuery) {
+  Netlist nl = two_gate();
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.gate_count(), 2u);
+  EXPECT_EQ(nl.live_count(), 4u);
+  EXPECT_NE(nl.find("g"), kNoNode);
+  EXPECT_EQ(nl.find("nope"), kNoNode);
+  EXPECT_TRUE(nl.is_output(nl.find("h")));
+  EXPECT_FALSE(nl.is_output(nl.find("g")));
+  nl.check();
+}
+
+TEST(Netlist, DuplicateNameThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_THROW(nl.add_input("a"), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::Not, "a", {nl.find("a")}),
+               std::runtime_error);
+}
+
+TEST(Netlist, ArityChecked) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::And, "g", {a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::Not, "g", {a, a}), std::runtime_error);
+  EXPECT_THROW(nl.add_gate(GateType::Mux, "g", {a, a}), std::runtime_error);
+  EXPECT_NO_THROW(nl.add_gate(GateType::Mux, "m", {a, a, a}));
+}
+
+TEST(Netlist, FanoutTracksFanin) {
+  Netlist nl = two_gate();
+  const NodeId a = nl.find("a");
+  const NodeId g = nl.find("g");
+  ASSERT_EQ(nl.node(a).fanout.size(), 1u);
+  EXPECT_EQ(nl.node(a).fanout[0], g);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl = two_gate();
+  const auto order = nl.topo_order();
+  EXPECT_EQ(order.size(), nl.live_count());
+  std::vector<int> pos(nl.raw_size(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = int(i);
+  for (NodeId id : order) {
+    for (NodeId f : nl.node(id).fanin) {
+      if (!is_sequential(nl.node(id).type)) EXPECT_LT(pos[f], pos[id]);
+    }
+  }
+}
+
+TEST(Netlist, RemoveNodeRequiresNoReaders) {
+  Netlist nl = two_gate();
+  EXPECT_THROW(nl.remove_node(nl.find("g")), std::runtime_error);
+  const NodeId h = nl.find("h");
+  EXPECT_THROW(nl.remove_node(h), std::runtime_error);  // primary output
+}
+
+TEST(Netlist, RewireAndRemove) {
+  Netlist nl = two_gate();
+  const NodeId g = nl.find("g");
+  const NodeId tie = nl.const_node(false);
+  nl.rewire_and_remove(g, tie);
+  EXPECT_EQ(nl.find("g"), kNoNode);
+  const NodeId h = nl.find("h");
+  EXPECT_EQ(nl.node(h).fanin[0], tie);
+  nl.check();
+}
+
+TEST(Netlist, SweepRemovesDeadCone) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g1 = nl.add_gate(GateType::And, "g1", {a, b});
+  const NodeId g2 = nl.add_gate(GateType::Or, "g2", {g1, a});
+  (void)g2;  // g2 is unused and not an output: whole cone dies
+  const NodeId keep = nl.add_gate(GateType::Not, "keep", {a});
+  nl.mark_output(keep);
+  EXPECT_EQ(nl.sweep_dead_gates(), 2u);
+  EXPECT_EQ(nl.find("g1"), kNoNode);
+  EXPECT_EQ(nl.find("g2"), kNoNode);
+  EXPECT_NE(nl.find("keep"), kNoNode);
+  EXPECT_EQ(nl.inputs().size(), 2u);  // PIs always survive
+  nl.check();
+}
+
+TEST(Netlist, ConstNodeIsCached) {
+  Netlist nl;
+  nl.add_input("a");
+  const NodeId c0 = nl.const_node(false);
+  EXPECT_EQ(nl.const_node(false), c0);
+  EXPECT_NE(nl.const_node(true), c0);
+}
+
+TEST(Netlist, ReplaceUsesMovesOutputs) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, "g", {a});
+  const NodeId h = nl.add_gate(GateType::Buf, "h", {a});
+  nl.mark_output(g);
+  nl.replace_uses(g, h);
+  EXPECT_TRUE(nl.is_output(h));
+  EXPECT_FALSE(nl.is_output(g));
+}
+
+TEST(Netlist, RelinkFanin) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::Not, "g", {a});
+  nl.relink_fanin(g, 0, b);
+  EXPECT_EQ(nl.node(g).fanin[0], b);
+  EXPECT_TRUE(nl.node(a).fanout.empty());
+  ASSERT_EQ(nl.node(b).fanout.size(), 1u);
+  nl.check();
+}
+
+TEST(Netlist, CompactRenumbersDensely) {
+  Netlist nl = two_gate();
+  const NodeId tie = nl.const_node(true);
+  nl.rewire_and_remove(nl.find("g"), tie);
+  const Netlist packed = nl.compact();
+  EXPECT_EQ(packed.live_count(), packed.raw_size());
+  EXPECT_EQ(packed.live_count(), nl.live_count());
+  EXPECT_NE(packed.find("h"), kNoNode);
+  EXPECT_EQ(packed.outputs().size(), 1u);
+  packed.check();
+}
+
+TEST(Netlist, CompactPreservesDffs) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {a});
+  const NodeId x = nl.add_gate(GateType::Xor, "x", {q, a});
+  nl.mark_output(x);
+  const Netlist packed = nl.compact();
+  ASSERT_EQ(packed.dffs().size(), 1u);
+  EXPECT_EQ(packed.node(packed.dffs()[0]).name, "q");
+  packed.check();
+}
+
+TEST(Netlist, DffBreaksCycles) {
+  Netlist nl;
+  const NodeId a = nl.add_input("en");
+  const NodeId tie = nl.const_node(false);
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {tie});
+  const NodeId d = nl.add_gate(GateType::Xor, "d", {q, a});
+  nl.relink_fanin(q, 0, d);  // q <- d <- q: sequential loop, fine
+  nl.sweep_dead_gates();
+  nl.mark_output(d);
+  EXPECT_NO_THROW(nl.topo_order());
+  nl.check();
+}
+
+TEST(Netlist, DepthsIncreaseAlongPaths) {
+  Netlist nl = two_gate();
+  const auto d = nl.depths();
+  EXPECT_EQ(d[nl.find("a")], 0);
+  EXPECT_EQ(d[nl.find("g")], 1);
+  EXPECT_EQ(d[nl.find("h")], 2);
+}
+
+TEST(Netlist, FaninCone) {
+  Netlist nl = two_gate();
+  const NodeId h = nl.find("h");
+  const auto cone = nl.fanin_cone(std::vector<NodeId>{h});
+  EXPECT_EQ(cone.size(), 4u);  // h, g, a, b
+}
+
+TEST(Netlist, TypeHistogram) {
+  Netlist nl = two_gate();
+  const auto h = nl.type_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::Input)], 2u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::And)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(GateType::Not)], 1u);
+}
+
+TEST(Netlist, RetypeChecksArityAndClass) {
+  Netlist nl = two_gate();
+  const NodeId g = nl.find("g");
+  nl.retype(g, GateType::Or);
+  EXPECT_EQ(nl.node(g).type, GateType::Or);
+  EXPECT_THROW(nl.retype(g, GateType::Not), std::runtime_error);   // arity
+  EXPECT_THROW(nl.retype(g, GateType::Dff), std::runtime_error);   // class
+}
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,125 @@
+// Tests for the rewrite passes (constant tying / folding).
+#include <gtest/gtest.h>
+
+#include "gen/random_circuit.hpp"
+#include "netlist/rewrite.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+namespace {
+
+TEST(TieToConstant, RemovesDeadCone) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId inner = nl.add_gate(GateType::And, "inner", {a, b});
+  const NodeId mid = nl.add_gate(GateType::Or, "mid", {inner, a});
+  const NodeId out = nl.add_gate(GateType::Xor, "out", {mid, b});
+  nl.mark_output(out);
+  const TieResult r = tie_to_constant(nl, mid, true);
+  // mid itself plus inner (now unread) are gone.
+  EXPECT_EQ(r.gates_removed, 2u);
+  EXPECT_EQ(nl.find("mid"), kNoNode);
+  EXPECT_EQ(nl.find("inner"), kNoNode);
+  EXPECT_EQ(nl.node(out).fanin[0], r.tie);
+  nl.check();
+}
+
+TEST(TieToConstant, SharedFaninSurvives) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId shared = nl.add_gate(GateType::Not, "shared", {a});
+  const NodeId victim = nl.add_gate(GateType::Buf, "victim", {shared});
+  const NodeId keeper = nl.add_gate(GateType::Buf, "keeper", {shared});
+  nl.mark_output(victim);
+  nl.mark_output(keeper);
+  // victim is an output: tying it retargets the output to the tie cell.
+  tie_to_constant(nl, victim, false);
+  EXPECT_NE(nl.find("shared"), kNoNode);  // still read by keeper
+  EXPECT_NE(nl.find("keeper"), kNoNode);
+  nl.check();
+}
+
+TEST(TieToConstant, RejectsNonGates) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, "g", {a});
+  nl.mark_output(g);
+  EXPECT_THROW(tie_to_constant(nl, a, false), std::runtime_error);
+}
+
+TEST(PropagateConstants, FoldsBasicIdentities) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId zero = nl.const_node(false);
+  const NodeId one = nl.const_node(true);
+  const NodeId and0 = nl.add_gate(GateType::And, "and0", {a, zero});
+  const NodeId or1 = nl.add_gate(GateType::Or, "or1", {a, one});
+  const NodeId xor1 = nl.add_gate(GateType::Xor, "xor1", {a, one});
+  const NodeId res = nl.add_gate(GateType::Or, "res", {and0, or1});
+  nl.mark_output(res);
+  nl.mark_output(xor1);
+  propagate_constants(nl);
+  // and0 -> 0, or1 -> 1, so res -> 1; xor1 -> NOT a.
+  const NodeId res_now = nl.outputs()[0];
+  EXPECT_EQ(nl.node(res_now).type, GateType::Const1);
+  const NodeId x_now = nl.outputs()[1];
+  EXPECT_EQ(nl.node(x_now).type, GateType::Not);
+  nl.check();
+}
+
+TEST(PropagateConstants, MuxSelectFolds) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId one = nl.const_node(true);
+  const NodeId m = nl.add_gate(GateType::Mux, "m", {one, a, b});
+  nl.mark_output(m);
+  propagate_constants(nl);
+  EXPECT_EQ(nl.outputs()[0], b);  // sel=1 selects the second data input
+  nl.check();
+}
+
+/// Folding never changes functional behaviour.
+class FoldEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FoldEquivalence, RandomCircuitWithInjectedConstants) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  spec.num_gates = 80;
+  Netlist nl = random_circuit(spec);
+  // Inject ties into a few gate fanins to give the folder work.
+  const NodeId zero = nl.const_node(false);
+  const NodeId one = nl.const_node(true);
+  int injected = 0;
+  for (NodeId id = 0; id < nl.raw_size() && injected < 6; ++id) {
+    if (!nl.is_alive(id) || !is_combinational(nl.node(id).type)) continue;
+    if (is_const(nl.node(id).type) || nl.node(id).fanin.size() < 2) continue;
+    nl.relink_fanin(id, 0, injected % 2 ? one : zero);
+    ++injected;
+  }
+  nl.sweep_dead_gates();
+  const Netlist before = nl.compact();
+  propagate_constants(nl);
+  nl.check();
+  const PatternSet ps = random_patterns(nl.inputs().size(), 256, spec.seed);
+  const PatternSet a = BitSimulator(before).outputs(ps);
+  const PatternSet b = BitSimulator(nl).outputs(ps);
+  EXPECT_TRUE(BitSimulator::responses_equal(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldEquivalence,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+TEST(TieCellCount, CountsLiveTies) {
+  Netlist nl;
+  nl.add_input("a");
+  EXPECT_EQ(tie_cell_count(nl), 0u);
+  nl.const_node(false);
+  nl.const_node(true);
+  EXPECT_EQ(tie_cell_count(nl), 2u);
+}
+
+}  // namespace
+}  // namespace tz

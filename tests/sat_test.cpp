@@ -1,0 +1,243 @@
+// Tests for the CDCL solver, Tseitin encoding and equivalence checking.
+#include <gtest/gtest.h>
+
+#include "gen/iscas.hpp"
+#include "gen/random_circuit.hpp"
+#include "sat/equivalence.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::SolveResult;
+using sat::Var;
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(Lit::make(a));
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(Lit::make(a));
+  s.add_unit(~Lit::make(a));
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, PropagationChain) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var(), c = s.new_var();
+  s.add_binary(~Lit::make(a), Lit::make(b));  // a -> b
+  s.add_binary(~Lit::make(b), Lit::make(c));  // b -> c
+  s.add_unit(Lit::make(a));
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(c));
+}
+
+TEST(Solver, RequiresConflictDrivenLearning) {
+  // XOR chain forcing contradiction: x1^x2=1, x2^x3=1, x1^x3=1 is UNSAT.
+  Solver s;
+  const Var x1 = s.new_var(), x2 = s.new_var(), x3 = s.new_var();
+  auto add_xor1 = [&](Var u, Var v) {  // u XOR v = 1
+    s.add_binary(Lit::make(u), Lit::make(v));
+    s.add_binary(~Lit::make(u), ~Lit::make(v));
+  };
+  add_xor1(x1, x2);
+  add_xor1(x2, x3);
+  add_xor1(x1, x3);
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, PigeonHole3Into2IsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes. p[i][j] = pigeon i in hole j.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) {
+    s.add_binary(Lit::make(p[i][0]), Lit::make(p[i][1]));
+  }
+  for (int j = 0; j < 2; ++j) {
+    for (int i = 0; i < 3; ++i) {
+      for (int k = i + 1; k < 3; ++k) {
+        s.add_binary(~Lit::make(p[i][j]), ~Lit::make(p[k][j]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, AssumptionsRestrictModels) {
+  Solver s;
+  const Var a = s.new_var(), b = s.new_var();
+  s.add_binary(Lit::make(a), Lit::make(b));  // a OR b
+  EXPECT_EQ(s.solve({~Lit::make(a)}), SolveResult::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({~Lit::make(a), ~Lit::make(b)}), SolveResult::Unsat);
+  // Solver stays reusable after assumption-UNSAT.
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, ConflictLimitReturnsUnknown) {
+  // A hard-ish pigeonhole with a conflict limit of 1.
+  Solver s;
+  Var p[5][4];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Lit> c;
+    for (int j = 0; j < 4; ++j) c.push_back(Lit::make(p[i][j]));
+    s.add_clause(c);
+  }
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 5; ++i) {
+      for (int k = i + 1; k < 5; ++k) {
+        s.add_binary(~Lit::make(p[i][j]), ~Lit::make(p[k][j]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve({}, 1), SolveResult::Unknown);
+  EXPECT_EQ(s.solve({}, -1), SolveResult::Unsat);
+}
+
+/// Property: the Tseitin encoding agrees with simulation — for a random
+/// circuit, pin the PIs to a random vector and check the implied PO values.
+class TseitinAgrees : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TseitinAgrees, PinnedInputsImplySimulatedOutputs) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  spec.num_gates = 60;
+  const Netlist nl = random_circuit(spec);
+  Solver s;
+  const auto var = sat::encode_netlist(s, nl);
+  const PatternSet ps = random_patterns(nl.inputs().size(), 4, spec.seed + 1);
+  const PatternSet out = BitSimulator(nl).outputs(ps);
+  for (std::size_t p = 0; p < ps.num_patterns(); ++p) {
+    std::vector<Lit> assume;
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      assume.push_back(Lit::make(var[nl.inputs()[i]], !ps.get(p, i)));
+    }
+    ASSERT_EQ(s.solve(assume), SolveResult::Sat);
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      EXPECT_EQ(s.model_value(var[nl.outputs()[o]]), out.get(p, o))
+          << "pattern " << p << " output " << o;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TseitinAgrees,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707));
+
+TEST(Equivalence, CircuitEqualsItself) {
+  const Netlist nl = make_benchmark("c432");
+  const auto r = sat::check_equivalence(nl, nl);
+  EXPECT_TRUE(r.equivalent);
+  EXPECT_TRUE(r.decided);
+}
+
+TEST(Equivalence, StructurallyDifferentButEqual) {
+  // DeMorgan: NAND(a,b) == OR(NOT a, NOT b).
+  Netlist x;
+  {
+    const NodeId a = x.add_input("a");
+    const NodeId b = x.add_input("b");
+    x.mark_output(x.add_gate(GateType::Nand, "g", {a, b}));
+  }
+  Netlist y;
+  {
+    const NodeId a = y.add_input("a");
+    const NodeId b = y.add_input("b");
+    const NodeId na = y.add_gate(GateType::Not, "na", {a});
+    const NodeId nb = y.add_gate(GateType::Not, "nb", {b});
+    y.mark_output(y.add_gate(GateType::Or, "g", {na, nb}));
+  }
+  EXPECT_TRUE(sat::check_equivalence(x, y).equivalent);
+}
+
+TEST(Equivalence, CounterexampleIsReal) {
+  Netlist x;
+  {
+    const NodeId a = x.add_input("a");
+    const NodeId b = x.add_input("b");
+    x.mark_output(x.add_gate(GateType::And, "g", {a, b}));
+  }
+  Netlist y;
+  {
+    const NodeId a = y.add_input("a");
+    const NodeId b = y.add_input("b");
+    y.mark_output(y.add_gate(GateType::Or, "g", {a, b}));
+  }
+  const auto r = sat::check_equivalence(x, y);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_EQ(r.counterexample.size(), 2u);
+  // Verify by simulation that the witness distinguishes the circuits.
+  PatternSet ps(2, 1);
+  ps.set(0, 0, r.counterexample[0]);
+  ps.set(0, 1, r.counterexample[1]);
+  const PatternSet ox = BitSimulator(x).outputs(ps);
+  const PatternSet oy = BitSimulator(y).outputs(ps);
+  EXPECT_NE(ox.get(0, 0), oy.get(0, 0));
+}
+
+TEST(Equivalence, InterfaceMismatchThrows) {
+  const Netlist a = make_benchmark("c17");
+  const Netlist b = make_benchmark("c432");
+  EXPECT_THROW(sat::check_equivalence(a, b), std::invalid_argument);
+}
+
+/// Property: a random single-gate mutation is either caught by the checker
+/// with a verified counterexample, or truly equivalent under simulation.
+class MutationCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationCheck, MutantsAreDistinguishedOrEquivalent) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  spec.num_gates = 50;
+  const Netlist original = random_circuit(spec);
+  Netlist mutant = original;
+  // Flip the type of the first AND/OR gate found.
+  for (NodeId id = 0; id < mutant.raw_size(); ++id) {
+    if (!mutant.is_alive(id)) continue;
+    if (mutant.node(id).type == GateType::And) {
+      mutant.retype(id, GateType::Or);
+      break;
+    }
+    if (mutant.node(id).type == GateType::Or) {
+      mutant.retype(id, GateType::And);
+      break;
+    }
+  }
+  const auto r = sat::check_equivalence(original, mutant);
+  ASSERT_TRUE(r.decided);
+  const PatternSet ps = random_patterns(original.inputs().size(), 512, 77);
+  const PatternSet oa = BitSimulator(original).outputs(ps);
+  const PatternSet ob = BitSimulator(mutant).outputs(ps);
+  if (r.equivalent) {
+    EXPECT_TRUE(BitSimulator::responses_equal(oa, ob));
+  } else {
+    PatternSet w(original.inputs().size(), 1);
+    for (std::size_t i = 0; i < r.counterexample.size(); ++i) {
+      w.set(0, i, r.counterexample[i]);
+    }
+    EXPECT_FALSE(BitSimulator::responses_equal(
+        BitSimulator(original).outputs(w), BitSimulator(mutant).outputs(w)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationCheck,
+                         ::testing::Values(9, 18, 27, 36, 45, 54, 63, 72));
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,177 @@
+// Tests for the SCOAP testability metrics.
+#include <gtest/gtest.h>
+#include <algorithm>
+
+#include "gen/iscas.hpp"
+#include "prob/scoap.hpp"
+#include "prob/signal_prob.hpp"
+
+namespace tz {
+namespace {
+
+TEST(Scoap, PrimaryInputsAreUnitControllable) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.mark_output(nl.add_gate(GateType::Buf, "b", {a}));
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(a), 1u);
+  EXPECT_EQ(sc.cc1(a), 1u);
+}
+
+TEST(Scoap, AndGateControllability) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  nl.mark_output(g);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc1(g), 3u);  // both inputs to 1: 1+1+1
+  EXPECT_EQ(sc.cc0(g), 2u);  // cheapest single input to 0: 1+1
+  EXPECT_EQ(sc.co(g), 0u);   // primary output
+  // Observing `a` needs b=1: CO(g) + CC1(b) + 1 = 2.
+  EXPECT_EQ(sc.co(a), 2u);
+}
+
+TEST(Scoap, OrNorNandDuality) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId o = nl.add_gate(GateType::Or, "o", {a, b});
+  const NodeId nr = nl.add_gate(GateType::Nor, "nr", {a, b});
+  const NodeId nd = nl.add_gate(GateType::Nand, "nd", {a, b});
+  nl.mark_output(o);
+  nl.mark_output(nr);
+  nl.mark_output(nd);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(o), 3u);
+  EXPECT_EQ(sc.cc1(o), 2u);
+  EXPECT_EQ(sc.cc1(nr), sc.cc0(o));  // NOR1 == OR0
+  EXPECT_EQ(sc.cc0(nr), sc.cc1(o));
+  EXPECT_EQ(sc.cc0(nd), 3u);
+  EXPECT_EQ(sc.cc1(nd), 2u);
+}
+
+TEST(Scoap, XorBothPolaritiesCheap) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId x = nl.add_gate(GateType::Xor, "x", {a, b});
+  nl.mark_output(x);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(x), 3u);  // 00 or 11: 1+1, plus gate level
+  EXPECT_EQ(sc.cc1(x), 3u);
+}
+
+TEST(Scoap, ConstantsAreOneSided) {
+  Netlist nl;
+  nl.add_input("a");
+  const NodeId c0 = nl.const_node(false);
+  const NodeId g = nl.add_gate(GateType::Buf, "g", {c0});
+  nl.mark_output(g);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(c0), 0u);
+  EXPECT_EQ(sc.cc1(c0), kScoapInf);
+  EXPECT_EQ(sc.cc1(g), kScoapInf);  // saturates through logic
+}
+
+TEST(Scoap, DeepChainsCostMore) {
+  // AND tree over 8 inputs: CC1 grows with width, CO of a leaf grows too.
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId wide = nl.add_gate(GateType::And, "wide", ins);
+  const NodeId narrow = nl.add_gate(GateType::And, "narrow", {ins[0], ins[1]});
+  nl.mark_output(wide);
+  nl.mark_output(narrow);
+  const Scoap sc(nl);
+  EXPECT_GT(sc.cc1(wide), sc.cc1(narrow));
+  EXPECT_EQ(sc.cc1(wide), 9u);  // 8 ones + level
+}
+
+TEST(Scoap, MuxSelectObservability) {
+  Netlist nl;
+  const NodeId s = nl.add_input("s");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId m = nl.add_gate(GateType::Mux, "m", {s, a, b});
+  nl.mark_output(m);
+  const Scoap sc(nl);
+  // Select observable when a != b (cost 2), through one level: 0+2+1.
+  EXPECT_EQ(sc.co(s), 3u);
+  // Data a observable when s=0: 0+1+1.
+  EXPECT_EQ(sc.co(a), 2u);
+  EXPECT_EQ(sc.co(b), 2u);
+}
+
+TEST(Scoap, DetectCostCombinesControlAndObserve) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  nl.mark_output(g);
+  const Scoap sc(nl);
+  // sa0 at g: control g to 1 (3) + observe (0) = 3.
+  EXPECT_EQ(sc.detect_cost(g, /*stuck_at_one=*/false), 3u);
+  // sa1 at g: control g to 0 (2) + observe (0) = 2.
+  EXPECT_EQ(sc.detect_cost(g, /*stuck_at_one=*/true), 2u);
+}
+
+TEST(Scoap, UnobservableDanglingGate) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId dead = nl.add_gate(GateType::Not, "dead", {a});
+  const NodeId live = nl.add_gate(GateType::Buf, "live", {a});
+  nl.mark_output(live);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.co(dead), kScoapInf);
+  EXPECT_LT(sc.co(live), kScoapInf);
+}
+
+TEST(Scoap, RareCandidatesAreHardToDetect) {
+  // The TrojanZero connection: nodes whose signal probability clears the
+  // Table I thresholds must rank among the hardest-to-detect nets by SCOAP
+  // too — that is *why* the budgeted defender misses them.
+  const Netlist nl = make_benchmark("c880");
+  const SignalProb sp(nl);
+  const Scoap sc(nl);
+  const auto cands = find_candidates(nl, sp, 0.992);
+  ASSERT_FALSE(cands.empty());
+  // Median detect-cost of candidate ties vs the whole circuit.
+  std::vector<std::uint32_t> cand_cost, all_cost;
+  for (const Candidate& c : cands) {
+    cand_cost.push_back(sc.detect_cost(c.node, c.tie_value));
+  }
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id) && is_combinational(nl.node(id).type)) {
+      all_cost.push_back(sc.detect_cost(id, false));
+    }
+  }
+  auto median = [](std::vector<std::uint32_t> v) {
+    std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+    return v[v.size() / 2];
+  };
+  EXPECT_GT(median(cand_cost), median(all_cost));
+}
+
+TEST(Scoap, AllBenchmarksFinite) {
+  for (const BenchmarkSpec& spec : iscas85_specs()) {
+    const Netlist nl = make_benchmark(spec.name);
+    const Scoap sc(nl);
+    // Every primary output must be controllable both ways (the generators
+    // produce no stuck outputs) and trivially observable.
+    for (NodeId po : nl.outputs()) {
+      EXPECT_EQ(sc.co(po), 0u) << spec.name;
+      EXPECT_LT(sc.cc0(po), kScoapInf) << spec.name;
+      EXPECT_LT(sc.cc1(po), kScoapInf) << spec.name;
+    }
+  }
+}
+
+TEST(Scoap, SaturatingAddNeverOverflows) {
+  EXPECT_EQ(Scoap::sat_add(kScoapInf, kScoapInf), kScoapInf);
+  EXPECT_EQ(Scoap::sat_add(kScoapInf, 1), kScoapInf);
+  EXPECT_EQ(Scoap::sat_add(3, 4), 7u);
+}
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,253 @@
+// Tests for pattern sets and the simulators.
+#include <gtest/gtest.h>
+#include <functional>
+#include <set>
+
+#include "gen/random_circuit.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+namespace {
+
+TEST(PatternSet, SetGetRoundTrip) {
+  PatternSet ps(3, 130);  // crosses word boundaries
+  ps.set(0, 0, true);
+  ps.set(64, 1, true);
+  ps.set(129, 2, true);
+  EXPECT_TRUE(ps.get(0, 0));
+  EXPECT_TRUE(ps.get(64, 1));
+  EXPECT_TRUE(ps.get(129, 2));
+  EXPECT_FALSE(ps.get(1, 0));
+  EXPECT_THROW(ps.get(130, 0), std::out_of_range);
+  EXPECT_THROW(ps.set(0, 3, true), std::out_of_range);
+}
+
+TEST(PatternSet, TailMask) {
+  EXPECT_EQ(PatternSet(1, 64).tail_mask(), ~std::uint64_t{0});
+  EXPECT_EQ(PatternSet(1, 1).tail_mask(), 1u);
+  EXPECT_EQ(PatternSet(1, 3).tail_mask(), 7u);
+}
+
+TEST(PatternSet, AppendGrows) {
+  PatternSet ps(2, 1);
+  ps.set(0, 1, true);
+  const bool bits[] = {true, false};
+  ps.append(std::span<const bool>(bits, 2));
+  EXPECT_EQ(ps.num_patterns(), 2u);
+  EXPECT_TRUE(ps.get(0, 1));
+  EXPECT_TRUE(ps.get(1, 0));
+  EXPECT_FALSE(ps.get(1, 1));
+}
+
+TEST(PatternSet, AppendAllConcatenates) {
+  PatternSet a(2, 65);
+  a.set(64, 0, true);
+  PatternSet b(2, 2);
+  b.set(1, 1, true);
+  a.append_all(b);
+  EXPECT_EQ(a.num_patterns(), 67u);
+  EXPECT_TRUE(a.get(64, 0));
+  EXPECT_TRUE(a.get(66, 1));
+}
+
+TEST(PatternSet, ExhaustiveCoversAll) {
+  const PatternSet ps = exhaustive_patterns(3);
+  EXPECT_EQ(ps.num_patterns(), 8u);
+  std::set<int> seen;
+  for (std::size_t p = 0; p < 8; ++p) {
+    int v = 0;
+    for (int s = 0; s < 3; ++s) v |= ps.get(p, s) << s;
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(PatternSet, RandomIsDeterministicPerSeed) {
+  EXPECT_EQ(random_patterns(4, 100, 9), random_patterns(4, 100, 9));
+  EXPECT_NE(random_patterns(4, 100, 9), random_patterns(4, 100, 10));
+}
+
+TEST(PatternSet, WalkingShape) {
+  const PatternSet ps = walking_patterns(4);
+  EXPECT_EQ(ps.num_patterns(), 8u);
+  for (int i = 0; i < 4; ++i) {
+    int ones = 0;
+    for (int s = 0; s < 4; ++s) ones += ps.get(i, s);
+    EXPECT_EQ(ones, 1);  // walking one
+    ones = 0;
+    for (int s = 0; s < 4; ++s) ones += ps.get(4 + i, s);
+    EXPECT_EQ(ones, 3);  // walking zero
+  }
+}
+
+/// Every gate type agrees with its truth table, exercised exhaustively.
+TEST(BitSimulator, GateTruthTables) {
+  struct Case {
+    GateType t;
+    int arity;
+    std::function<bool(unsigned)> expect;  // input bits packed in unsigned
+  };
+  const std::vector<Case> cases = {
+      {GateType::Buf, 1, [](unsigned v) { return v & 1; }},
+      {GateType::Not, 1, [](unsigned v) { return !(v & 1); }},
+      {GateType::And, 3, [](unsigned v) { return v == 7; }},
+      {GateType::Nand, 3, [](unsigned v) { return v != 7; }},
+      {GateType::Or, 3, [](unsigned v) { return v != 0; }},
+      {GateType::Nor, 3, [](unsigned v) { return v == 0; }},
+      {GateType::Xor, 3, [](unsigned v) { return __builtin_popcount(v) & 1; }},
+      {GateType::Xnor, 3,
+       [](unsigned v) { return !(__builtin_popcount(v) & 1); }},
+      {GateType::Mux, 3,
+       [](unsigned v) {
+         const bool sel = v & 1, a = v & 2, b = v & 4;
+         return sel ? b : a;
+       }},
+  };
+  for (const Case& c : cases) {
+    Netlist nl;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < c.arity; ++i) {
+      ins.push_back(nl.add_input("i" + std::to_string(i)));
+    }
+    const NodeId g = nl.add_gate(c.t, "g", ins);
+    nl.mark_output(g);
+    const PatternSet ps = exhaustive_patterns(c.arity);
+    const PatternSet out = BitSimulator(nl).outputs(ps);
+    for (std::size_t p = 0; p < ps.num_patterns(); ++p) {
+      EXPECT_EQ(out.get(p, 0), c.expect(static_cast<unsigned>(p)))
+          << to_string(c.t) << " pattern " << p;
+    }
+  }
+}
+
+TEST(BitSimulator, ConstantsEvaluate) {
+  Netlist nl;
+  nl.add_input("a");
+  const NodeId c0 = nl.const_node(false);
+  const NodeId c1 = nl.const_node(true);
+  const NodeId x = nl.add_gate(GateType::Xor, "x", {c0, c1});
+  nl.mark_output(x);
+  const PatternSet out = BitSimulator(nl).outputs(PatternSet(1, 3));
+  for (int p = 0; p < 3; ++p) EXPECT_TRUE(out.get(p, 0));
+}
+
+TEST(BitSimulator, WidthMismatchThrows) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.add_input("b");
+  BitSimulator sim(nl);
+  EXPECT_THROW(sim.run(PatternSet(1, 4)), std::invalid_argument);
+}
+
+TEST(ResponsesEqual, DetectsAnyBitDifference) {
+  PatternSet a(2, 70), b(2, 70);
+  EXPECT_TRUE(BitSimulator::responses_equal(a, b));
+  b.set(69, 1, true);
+  EXPECT_FALSE(BitSimulator::responses_equal(a, b));
+  EXPECT_FALSE(BitSimulator::responses_equal(a, PatternSet(2, 69)));
+}
+
+TEST(CountToggles, CountsTransitions) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(GateType::Not, "n", {a});
+  nl.mark_output(n);
+  PatternSet ps(1, 4);  // a = 0,1,0,0 -> 2 toggles on both nets
+  ps.set(1, 0, true);
+  const auto t = count_toggles(nl, ps);
+  EXPECT_EQ(t[a], 2u);
+  EXPECT_EQ(t[n], 2u);
+}
+
+TEST(SimulatedProbability, MatchesCounts) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  nl.mark_output(g);
+  const auto p = simulated_one_probability(nl, exhaustive_patterns(2));
+  EXPECT_DOUBLE_EQ(p[a], 0.5);
+  EXPECT_DOUBLE_EQ(p[g], 0.25);
+}
+
+TEST(CycleSimulator, DffDelaysByOneCycle) {
+  Netlist nl;
+  const NodeId d = nl.add_input("d");
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {d});
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {q});
+  nl.mark_output(o);
+  CycleSimulator cs(nl);
+  EXPECT_FALSE(cs.step({true})[0]);   // reset state visible
+  EXPECT_TRUE(cs.step({false})[0]);   // captured 1 appears
+  EXPECT_FALSE(cs.step({false})[0]);
+}
+
+TEST(CycleSimulator, EnabledCounterCounts) {
+  // 2-bit synchronous counter with enable, built by hand like the HT's.
+  Netlist nl;
+  const NodeId en = nl.add_input("en");
+  const NodeId tie = nl.const_node(false);
+  const NodeId q0 = nl.add_gate(GateType::Dff, "q0", {tie});
+  const NodeId q1 = nl.add_gate(GateType::Dff, "q1", {tie});
+  const NodeId d0 = nl.add_gate(GateType::Xor, "d0", {q0, en});
+  const NodeId c0 = nl.add_gate(GateType::And, "c0", {q0, en});
+  const NodeId d1 = nl.add_gate(GateType::Xor, "d1", {q1, c0});
+  nl.relink_fanin(q0, 0, d0);
+  nl.relink_fanin(q1, 0, d1);
+  nl.sweep_dead_gates();
+  const NodeId full = nl.add_gate(GateType::And, "full", {q0, q1});
+  nl.mark_output(full);
+  CycleSimulator cs(nl);
+  // Count 3 enabled cycles: state goes 0,1,2,3 -> full asserted on the
+  // cycle where q=3.
+  EXPECT_FALSE(cs.step({true})[0]);  // q was 0
+  EXPECT_FALSE(cs.step({true})[0]);  // q was 1
+  EXPECT_FALSE(cs.step({true})[0]);  // q was 2
+  EXPECT_TRUE(cs.step({false})[0]);  // q is 3 and holds (enable low)
+  EXPECT_TRUE(cs.step({false})[0]);
+  EXPECT_TRUE(cs.step({true})[0]);   // q still 3 this cycle, wraps after
+  EXPECT_FALSE(cs.step({false})[0]); // wrapped to 0
+}
+
+TEST(CycleSimulator, TogglesAccumulate) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(GateType::Not, "n", {a});
+  nl.mark_output(n);
+  CycleSimulator cs(nl);
+  cs.step({false});
+  cs.step({true});
+  cs.step({false});
+  EXPECT_EQ(cs.toggles()[n], 2u);
+  EXPECT_EQ(cs.cycles(), 3u);
+  cs.reset();
+  EXPECT_EQ(cs.toggles()[n], 0u);
+}
+
+/// Property: bit-parallel and cycle-based simulators agree on combinational
+/// circuits pattern-by-pattern.
+class SimAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimAgreement, BitParallelMatchesCycleBased) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  const Netlist nl = random_circuit(spec);
+  const PatternSet ps = random_patterns(nl.inputs().size(), 100, spec.seed);
+  const PatternSet fast = BitSimulator(nl).outputs(ps);
+  CycleSimulator cs(nl);
+  for (std::size_t p = 0; p < ps.num_patterns(); ++p) {
+    std::vector<bool> in(nl.inputs().size());
+    for (std::size_t s = 0; s < in.size(); ++s) in[s] = ps.get(p, s);
+    const auto out = cs.step(in);
+    for (std::size_t o = 0; o < out.size(); ++o) {
+      ASSERT_EQ(out[o], fast.get(p, o)) << "pattern " << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace tz

@@ -1,0 +1,168 @@
+// Tests for the technology library, power model and variation model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gen/iscas.hpp"
+#include "tech/power_model.hpp"
+#include "tech/variation.hpp"
+
+namespace tz {
+namespace {
+
+TEST(CellLibrary, ArityScalesAreaAndLeakage) {
+  const CellLibrary lib = CellLibrary::tsmc65_like();
+  Netlist nl;
+  std::vector<NodeId> ins;
+  for (int i = 0; i < 4; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const NodeId n2 = nl.add_gate(GateType::Nand, "n2", {ins[0], ins[1]});
+  const NodeId n4 = nl.add_gate(GateType::Nand, "n4", ins);
+  nl.mark_output(n2);
+  nl.mark_output(n4);
+  EXPECT_GT(lib.area_ge(nl.node(n4)), lib.area_ge(nl.node(n2)));
+  EXPECT_GT(lib.leakage_nw(nl.node(n4)), lib.leakage_nw(nl.node(n2)));
+  EXPECT_DOUBLE_EQ(lib.area_ge(nl.node(n2)), 1.0);  // NAND2 = 1 GE by definition
+}
+
+TEST(CellLibrary, SourcesAreFree) {
+  const CellLibrary lib = CellLibrary::tsmc65_like();
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  EXPECT_DOUBLE_EQ(lib.area_ge(nl.node(a)), 0.0);
+  EXPECT_DOUBLE_EQ(lib.leakage_nw(nl.node(a)), 0.0);
+}
+
+TEST(PowerModel, LoadCapSumsReaders) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g1 = nl.add_gate(GateType::Not, "g1", {a});
+  const NodeId g2 = nl.add_gate(GateType::Not, "g2", {a});
+  nl.mark_output(g1);
+  nl.mark_output(g2);
+  const double one_reader = pm.load_cap_ff(nl, g1);   // no readers
+  const double two_readers = pm.load_cap_ff(nl, a);
+  EXPECT_DOUBLE_EQ(one_reader, 0.0);
+  EXPECT_GT(two_readers, 0.0);
+}
+
+TEST(PowerModel, AddingGatesIncreasesEverything) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  Netlist nl = make_benchmark("c17");
+  const PowerReport before = pm.analyze(nl).totals;
+  const NodeId a = nl.inputs()[0];
+  nl.add_gate(GateType::Xor, "extra", {a, a});
+  const PowerReport after = pm.analyze(nl).totals;
+  EXPECT_GT(after.total_uw(), before.total_uw());
+  EXPECT_GT(after.leakage_uw, before.leakage_uw);
+  EXPECT_GT(after.area_ge, before.area_ge);
+}
+
+TEST(PowerModel, DffBurnsClockPowerEvenWhenIdle) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  Netlist nl;
+  nl.add_input("a");
+  const NodeId zero = nl.const_node(false);
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {zero});
+  nl.mark_output(q);
+  const PowerBreakdown b = pm.analyze(nl);
+  EXPECT_GT(b.dynamic_uw[q], 0.0);  // clock pin toggles regardless of data
+}
+
+TEST(PowerModel, BreakdownSumsToTotals) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  const Netlist nl = make_benchmark("c432");
+  const PowerBreakdown b = pm.analyze(nl);
+  double dyn = 0, leak = 0, area = 0;
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    dyn += b.dynamic_uw[id];
+    leak += b.leakage_uw[id];
+    area += b.area_ge[id];
+  }
+  EXPECT_NEAR(dyn, b.totals.dynamic_uw, 1e-9);
+  EXPECT_NEAR(leak, b.totals.leakage_uw, 1e-9);
+  EXPECT_NEAR(area, b.totals.area_ge, 1e-9);
+}
+
+TEST(PowerModel, SimulatedActivityTracksAnalytic) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  const Netlist nl = make_benchmark("c880");
+  const PowerReport analytic = pm.analyze(nl).totals;
+  const PatternSet stim = random_patterns(nl.inputs().size(), 4096, 17);
+  const PowerReport simulated = pm.analyze_simulated(nl, stim).totals;
+  // Same leakage/area by construction; dynamic within 30% (the analytic
+  // model ignores glitching and spatial correlation).
+  EXPECT_DOUBLE_EQ(simulated.leakage_uw, analytic.leakage_uw);
+  EXPECT_DOUBLE_EQ(simulated.area_ge, analytic.area_ge);
+  EXPECT_NEAR(simulated.dynamic_uw / analytic.dynamic_uw, 1.0, 0.3);
+}
+
+TEST(PowerModel, BenchmarksLandInPaperRange) {
+  // Absolute calibration: HT-free totals within ~3x of Table I's numbers
+  // (we match shape, not the authors' testbed).
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  for (const BenchmarkSpec& spec : iscas85_specs()) {
+    const PowerReport r = pm.analyze(make_benchmark(spec.name)).totals;
+    EXPECT_GT(r.total_uw(), spec.paper_power_n / 3.0) << spec.name;
+    EXPECT_LT(r.total_uw(), spec.paper_power_n * 3.0) << spec.name;
+    EXPECT_GT(r.area_ge, spec.paper_area_n / 3.0) << spec.name;
+    EXPECT_LT(r.area_ge, spec.paper_area_n * 3.0) << spec.name;
+  }
+}
+
+TEST(Variation, DieScalesAreCentered) {
+  VariationModel vm(VariationSpec{}, 42);
+  double mean = 0;
+  const int kDies = 400;
+  for (int i = 0; i < kDies; ++i) {
+    const DieSample die = vm.sample_die(50);
+    double m = 0;
+    for (double s : die.leakage_scale) m += s / die.leakage_scale.size();
+    mean += m / kDies;
+  }
+  EXPECT_NEAR(mean, 1.0, 0.02);  // lognormal mean ~ exp(sigma^2/2) ~ 1.003
+}
+
+TEST(Variation, MeasurementsJitterAroundNominal) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  const Netlist nl = make_benchmark("c17");
+  const PowerBreakdown nom = pm.analyze(nl);
+  VariationModel vm(VariationSpec{}, 7);
+  double mean = 0;
+  const int kDies = 300;
+  for (int i = 0; i < kDies; ++i) {
+    const DieSample die = vm.sample_die(nl.raw_size());
+    mean += vm.measure(nl, nom, die).total_uw() / kDies;
+  }
+  EXPECT_NEAR(mean / nom.totals.total_uw(), 1.0, 0.05);
+}
+
+TEST(Variation, NoisyLeakagePerGateIsPositive) {
+  const PowerModel pm(CellLibrary::tsmc65_like());
+  const Netlist nl = make_benchmark("c17");
+  const PowerBreakdown nom = pm.analyze(nl);
+  VariationModel vm(VariationSpec{}, 3);
+  const DieSample die = vm.sample_die(nl.raw_size());
+  const auto leak = vm.noisy_leakage(nl, nom, die);
+  for (NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id) && is_combinational(nl.node(id).type)) {
+      EXPECT_GT(leak[id], 0.0);
+    }
+  }
+}
+
+TEST(Variation, ZeroSigmaIsDeterministic) {
+  VariationSpec spec;
+  spec.leakage_sigma = 0;
+  spec.dynamic_sigma = 0;
+  spec.die_sigma = 0;
+  spec.measurement_sigma = 0;
+  VariationModel vm(spec, 1);
+  const DieSample die = vm.sample_die(10);
+  for (double s : die.leakage_scale) EXPECT_DOUBLE_EQ(s, 1.0);
+  for (double s : die.dynamic_scale) EXPECT_DOUBLE_EQ(s, 1.0);
+  EXPECT_DOUBLE_EQ(die.die_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace tz
