@@ -2,6 +2,7 @@
 // paper Sec. III-A: "ATPG stuck-at model").
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,7 @@
 #include "atpg/fault_sim.hpp"
 
+#include <cstdint>
+
 namespace tz {
 namespace {
 

@@ -7,6 +7,7 @@
 // TrojanZero insertion.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "atpg/fault.hpp"

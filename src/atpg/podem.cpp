@@ -1,6 +1,7 @@
 #include "atpg/podem.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace tz {
 namespace {

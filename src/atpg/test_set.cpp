@@ -1,6 +1,7 @@
 #include "atpg/test_set.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <random>
 
 #include "prob/signal_prob.hpp"

@@ -7,6 +7,7 @@
 // the standard TetraMAX-style flow.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,5 +1,6 @@
 #include "core/ht_library.hpp"
 
+#include <span>
 #include <stdexcept>
 
 namespace tz {

@@ -1,6 +1,7 @@
 #include "core/trigger_prob.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <random>
 #include <stdexcept>
 

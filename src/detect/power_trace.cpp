@@ -1,6 +1,7 @@
 #include "detect/power_trace.hpp"
 
 #include <cmath>
+#include <cstdint>
 #include <numeric>
 #include <vector>
 

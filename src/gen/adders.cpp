@@ -1,3 +1,4 @@
+#include <span>
 #include <stdexcept>
 
 #include "gen/builder.hpp"

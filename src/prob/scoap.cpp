@@ -1,6 +1,7 @@
 #include "prob/scoap.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace tz {
 namespace {

@@ -1,5 +1,6 @@
 #include "sat/equivalence.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 #include "sat/tseitin.hpp"

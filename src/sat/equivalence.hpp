@@ -8,6 +8,7 @@
 //    N'' differs from N.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 

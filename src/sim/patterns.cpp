@@ -1,5 +1,6 @@
 #include "sim/patterns.hpp"
 
+#include <cstdint>
 #include <stdexcept>
 
 namespace tz {

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include <bit>
+#include <cstdint>
 #include <stdexcept>
 
 namespace tz {

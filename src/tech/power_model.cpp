@@ -1,5 +1,7 @@
 #include "tech/power_model.hpp"
 
+#include <cstdint>
+
 #include "sim/simulator.hpp"
 
 namespace tz {

@@ -1,4 +1,5 @@
 // Tests for the stuck-at fault model, PODEM and fault simulation.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "atpg/test_set.hpp"

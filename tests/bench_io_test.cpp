@@ -5,6 +5,7 @@
 #include "netlist/bench_io.hpp"
 #include "sim/patterns.hpp"
 #include "sim/simulator.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
@@ -67,6 +68,65 @@ TEST(BenchIO, UnknownGateFails) {
                std::runtime_error);
 }
 
+TEST(BenchIO, MalformedDirectiveFails) {
+  // Directive without parentheses.
+  EXPECT_THROW(read_bench_string("INPUT a\n"), std::runtime_error);
+  // Unknown directive keyword.
+  EXPECT_THROW(read_bench_string("WIRE(a)\n"), std::runtime_error);
+  // Close-paren before open-paren.
+  EXPECT_THROW(read_bench_string("INPUT)a(\n"), std::runtime_error);
+}
+
+TEST(BenchIO, EmptyNamesFail) {
+  EXPECT_THROW(read_bench_string("INPUT()\n"), std::runtime_error);
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\n = NOT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, MalformedAssignmentFails) {
+  // RHS without parentheses.
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\nz = NOT a\n"),
+               std::runtime_error);
+  // INPUT is not a legal gate mnemonic on an assignment.
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(z)\nz = INPUT(a)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, UnresolvedDffInputFails) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(o)\nq = DFF(ghost)\no = BUF(q)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIO, ErrorsCarryLineNumbers) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(z)\n\nz = BLORB(a)\n");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bench:4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(BenchIO, MissingFileFails) {
+  EXPECT_THROW(read_bench_file("/nonexistent/no_such_circuit.bench"),
+               std::runtime_error);
+}
+
+TEST(BenchIO, ConstantTiesRoundTrip) {
+  // The TrojanZero rewrites introduce CONST0/CONST1 cells; the writer must
+  // emit them re-parseably.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId c1 = nl.const_node(true);
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, c1});
+  nl.mark_output(g);
+  const Netlist again = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(again.gate_count(), nl.gate_count());
+  EXPECT_EQ(again.inputs().size(), 1u);
+  EXPECT_EQ(again.outputs().size(), 1u);
+}
+
 TEST(BenchIO, DffNetlistsRoundTrip) {
   const std::string text =
       "INPUT(en)\nOUTPUT(o)\nq = DFF(d)\nd = XOR(q, en)\no = BUF(q)\n";
@@ -86,7 +146,7 @@ TEST_P(BenchRoundTrip, WriteParseAgree) {
   EXPECT_EQ(again.outputs().size(), nl.outputs().size());
   EXPECT_EQ(again.gate_count(), nl.gate_count());
   // Functional identity on random vectors.
-  const PatternSet ps = random_patterns(nl.inputs().size(), 192, 3);
+  const PatternSet ps = random_patterns(nl.inputs().size(), 192, test::kTestSeed);
   const PatternSet a = BitSimulator(nl).outputs(ps);
   const PatternSet b = BitSimulator(again).outputs(ps);
   EXPECT_TRUE(BitSimulator::responses_equal(a, b));

@@ -12,9 +12,13 @@
 #include "gen/iscas.hpp"
 #include "sat/equivalence.hpp"
 #include "sim/simulator.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
+
+using test::add_inputs;
+using test::payload_testbed;
 
 PowerModel model() { return PowerModel(CellLibrary::tsmc65_like()); }
 
@@ -91,24 +95,6 @@ TEST(HtLibrary, DefaultLibraryShapes) {
   EXPECT_EQ(lib.front().counter_bits, 0);  // comparator first (smallest)
   EXPECT_EQ(counter_trojan(3).counter_bits, 3);
   EXPECT_EQ(counter_trojan(0).name, "cmp-trigger");
-}
-
-Netlist payload_testbed(NodeId* victim, std::vector<NodeId>* rare) {
-  Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 8; ++i) {
-    ins.push_back(nl.add_input("i" + std::to_string(i)));
-  }
-  const NodeId r0 = nl.add_gate(GateType::And, "r0", {ins[0], ins[1]});
-  const NodeId r1 = nl.add_gate(GateType::And, "r1", {ins[2], ins[3]});
-  const NodeId v = nl.add_gate(GateType::Xor, "v", {ins[4], ins[5]});
-  const NodeId o = nl.add_gate(GateType::Xor, "o", {v, ins[6]});
-  const NodeId o2 = nl.add_gate(GateType::Or, "o2", {r0, r1, ins[7]});
-  nl.mark_output(o);
-  nl.mark_output(o2);
-  *victim = v;
-  *rare = {r0, r1};
-  return nl;
 }
 
 TEST(BuildTrojan, CounterStructure) {
@@ -276,16 +262,14 @@ TEST(UntargetedProbability, ExactAndSampledAgree) {
   // Modified circuit that differs on exactly one input combination.
   Netlist a;
   {
-    std::vector<NodeId> ins;
-    for (int i = 0; i < 6; ++i) ins.push_back(a.add_input("i" + std::to_string(i)));
+    const std::vector<NodeId> ins = add_inputs(a, 6);
     const NodeId wide = a.add_gate(GateType::And, "wide", ins);
     const NodeId o = a.add_gate(GateType::Or, "o", {wide, ins[0]});
     a.mark_output(o);
   }
   Netlist b;
   {
-    std::vector<NodeId> ins;
-    for (int i = 0; i < 6; ++i) ins.push_back(b.add_input("i" + std::to_string(i)));
+    const std::vector<NodeId> ins = add_inputs(b, 6);
     const NodeId o = b.add_gate(GateType::Buf, "o", {ins[0]});
     b.mark_output(o);
   }
@@ -296,8 +280,7 @@ TEST(UntargetedProbability, ExactAndSampledAgree) {
   // from BUF(i1) exactly when i0,i2..i5 = 1 and i1 = 0 (one minterm).
   Netlist c;
   {
-    std::vector<NodeId> ins;
-    for (int i = 0; i < 6; ++i) ins.push_back(c.add_input("i" + std::to_string(i)));
+    const std::vector<NodeId> ins = add_inputs(c, 6);
     const std::vector<NodeId> others{ins[0], ins[2], ins[3], ins[4], ins[5]};
     const NodeId wide = c.add_gate(GateType::And, "wide", others);
     const NodeId o = c.add_gate(GateType::Or, "o", {wide, ins[1]});
@@ -305,8 +288,7 @@ TEST(UntargetedProbability, ExactAndSampledAgree) {
   }
   Netlist d;
   {
-    std::vector<NodeId> ins;
-    for (int i = 0; i < 6; ++i) ins.push_back(d.add_input("i" + std::to_string(i)));
+    const std::vector<NodeId> ins = add_inputs(d, 6);
     const NodeId o = d.add_gate(GateType::Buf, "o", {ins[1]});
     d.mark_output(o);
   }

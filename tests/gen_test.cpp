@@ -1,5 +1,6 @@
 // Functional tests for the benchmark circuit generators.
 #include <gtest/gtest.h>
+#include <stdexcept>
 
 #include "gen/circuits.hpp"
 #include "gen/iscas.hpp"

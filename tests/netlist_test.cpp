@@ -4,19 +4,12 @@
 #include <stdexcept>
 
 #include "netlist/netlist.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
 
-Netlist two_gate() {
-  Netlist nl("two");
-  const NodeId a = nl.add_input("a");
-  const NodeId b = nl.add_input("b");
-  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
-  const NodeId h = nl.add_gate(GateType::Not, "h", {g});
-  nl.mark_output(h);
-  return nl;
-}
+using test::two_gate;
 
 TEST(GateType, RoundTripStrings) {
   for (int i = 0; i < kGateTypeCount; ++i) {
@@ -95,7 +88,9 @@ TEST(Netlist, TopoOrderRespectsDependencies) {
   for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = int(i);
   for (NodeId id : order) {
     for (NodeId f : nl.node(id).fanin) {
-      if (!is_sequential(nl.node(id).type)) EXPECT_LT(pos[f], pos[id]);
+      if (!is_sequential(nl.node(id).type)) {
+        EXPECT_LT(pos[f], pos[id]);
+      }
     }
   }
 }

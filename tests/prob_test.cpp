@@ -1,4 +1,5 @@
 // Tests for the signal-probability engine.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -7,9 +8,12 @@
 #include "gen/random_circuit.hpp"
 #include "prob/signal_prob.hpp"
 #include "sim/simulator.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
+
+using test::add_inputs;
 
 TEST(SignalProb, InputsDefaultToHalf) {
   Netlist nl;
@@ -90,8 +94,7 @@ TEST(SignalProb, DffFixpointConverges) {
 
 TEST(FindCandidates, ThresholdAndPolarity) {
   Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const std::vector<NodeId> ins = add_inputs(nl, 8);
   const NodeId rare1 = nl.add_gate(GateType::And, "rare1", ins);   // P1=2^-8
   const NodeId rare0 = nl.add_gate(GateType::Or, "rare0", ins);    // P0=2^-8
   const NodeId mid = nl.add_gate(GateType::Xor, "mid", {ins[0], ins[1]});
@@ -102,16 +105,19 @@ TEST(FindCandidates, ThresholdAndPolarity) {
   const auto cands = find_candidates(nl, sp, 0.99);
   ASSERT_EQ(cands.size(), 2u);
   for (const Candidate& c : cands) {
-    if (c.node == rare1) EXPECT_FALSE(c.tie_value);  // ties to 0
-    if (c.node == rare0) EXPECT_TRUE(c.tie_value);   // ties to 1
+    if (c.node == rare1) {
+      EXPECT_FALSE(c.tie_value);  // ties to 0
+    }
+    if (c.node == rare0) {
+      EXPECT_TRUE(c.tie_value);  // ties to 1
+    }
     EXPECT_GE(c.probability, 0.99);
   }
 }
 
 TEST(FindCandidates, OutputsExcludedByDefault) {
   Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const std::vector<NodeId> ins = add_inputs(nl, 8);
   const NodeId rare = nl.add_gate(GateType::And, "rare", ins);
   nl.mark_output(rare);
   const SignalProb sp(nl);
@@ -162,8 +168,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ProbVsMonteCarlo,
 TEST(ProbVsMonteCarlo, ExactOnFanoutFreeTrees) {
   // Without reconvergence the independence model is exact.
   Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("x" + std::to_string(i)));
+  const std::vector<NodeId> ins = add_inputs(nl, 8, "x");
   const NodeId a = nl.add_gate(GateType::And, "a", {ins[0], ins[1]});
   const NodeId b = nl.add_gate(GateType::Or, "b", {ins[2], ins[3]});
   const NodeId c = nl.add_gate(GateType::Xor, "c", {ins[4], ins[5]});

@@ -1,4 +1,5 @@
 // Tests for the rewrite passes (constant tying / folding).
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "gen/random_circuit.hpp"

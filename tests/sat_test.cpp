@@ -1,4 +1,5 @@
 // Tests for the CDCL solver, Tseitin encoding and equivalence checking.
+#include <cstdint>
 #include <gtest/gtest.h>
 
 #include "gen/iscas.hpp"

@@ -1,13 +1,17 @@
 // Tests for the SCOAP testability metrics.
-#include <gtest/gtest.h>
 #include <algorithm>
+#include <cstdint>
+#include <gtest/gtest.h>
 
 #include "gen/iscas.hpp"
 #include "prob/scoap.hpp"
 #include "prob/signal_prob.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
+
+using test::add_inputs;
 
 TEST(Scoap, PrimaryInputsAreUnitControllable) {
   Netlist nl;
@@ -77,8 +81,7 @@ TEST(Scoap, ConstantsAreOneSided) {
 TEST(Scoap, DeepChainsCostMore) {
   // AND tree over 8 inputs: CC1 grows with width, CO of a leaf grows too.
   Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 8; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const std::vector<NodeId> ins = add_inputs(nl, 8);
   const NodeId wide = nl.add_gate(GateType::And, "wide", ins);
   const NodeId narrow = nl.add_gate(GateType::And, "narrow", {ins[0], ins[1]});
   nl.mark_output(wide);

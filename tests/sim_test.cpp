@@ -1,11 +1,13 @@
 // Tests for pattern sets and the simulators.
-#include <gtest/gtest.h>
+#include <cstdint>
 #include <functional>
+#include <gtest/gtest.h>
 #include <set>
 
 #include "gen/random_circuit.hpp"
 #include "sim/patterns.hpp"
 #include "sim/simulator.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
@@ -106,10 +108,7 @@ TEST(BitSimulator, GateTruthTables) {
   };
   for (const Case& c : cases) {
     Netlist nl;
-    std::vector<NodeId> ins;
-    for (int i = 0; i < c.arity; ++i) {
-      ins.push_back(nl.add_input("i" + std::to_string(i)));
-    }
+    const std::vector<NodeId> ins = test::add_inputs(nl, c.arity);
     const NodeId g = nl.add_gate(c.t, "g", ins);
     nl.mark_output(g);
     const PatternSet ps = exhaustive_patterns(c.arity);

@@ -6,6 +6,7 @@
 #include "gen/iscas.hpp"
 #include "tech/power_model.hpp"
 #include "tech/variation.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
@@ -13,8 +14,7 @@ namespace {
 TEST(CellLibrary, ArityScalesAreaAndLeakage) {
   const CellLibrary lib = CellLibrary::tsmc65_like();
   Netlist nl;
-  std::vector<NodeId> ins;
-  for (int i = 0; i < 4; ++i) ins.push_back(nl.add_input("i" + std::to_string(i)));
+  const std::vector<NodeId> ins = test::add_inputs(nl, 4);
   const NodeId n2 = nl.add_gate(GateType::Nand, "n2", {ins[0], ins[1]});
   const NodeId n4 = nl.add_gate(GateType::Nand, "n4", ins);
   nl.mark_output(n2);

@@ -1,0 +1,56 @@
+// Shared fixtures for the TrojanZero test suites: tiny helper netlists and
+// deterministic RNG seeding. Keep helpers here instead of copy-pasting them
+// across suite files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz::test {
+
+// Canonical seed for tests that need an arbitrary-but-fixed RNG stream.
+inline constexpr std::uint64_t kTestSeed = 0xC0FFEE;
+
+// Adds `n` primary inputs named <prefix>0 .. <prefix>{n-1}.
+inline std::vector<NodeId> add_inputs(Netlist& nl, int n,
+                                      const std::string& prefix = "i") {
+  std::vector<NodeId> ins;
+  ins.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ins.push_back(nl.add_input(prefix + std::to_string(i)));
+  }
+  return ins;
+}
+
+// Minimal two-gate netlist: h = NOT(g), g = AND(a, b), output h.
+inline Netlist two_gate() {
+  Netlist nl("two");
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  const NodeId h = nl.add_gate(GateType::Not, "h", {g});
+  nl.mark_output(h);
+  return nl;
+}
+
+// Eight-input testbed with two rare AND triggers (r0, r1), a XOR victim `v`
+// feeding output o, and a second output o2 keeping the triggers alive.
+inline Netlist payload_testbed(NodeId* victim, std::vector<NodeId>* rare) {
+  Netlist nl;
+  const std::vector<NodeId> ins = add_inputs(nl, 8);
+  const NodeId r0 = nl.add_gate(GateType::And, "r0", {ins[0], ins[1]});
+  const NodeId r1 = nl.add_gate(GateType::And, "r1", {ins[2], ins[3]});
+  const NodeId v = nl.add_gate(GateType::Xor, "v", {ins[4], ins[5]});
+  const NodeId o = nl.add_gate(GateType::Xor, "o", {v, ins[6]});
+  const NodeId o2 = nl.add_gate(GateType::Or, "o2", {r0, r1, ins[7]});
+  nl.mark_output(o);
+  nl.mark_output(o2);
+  *victim = v;
+  *rare = {r0, r1};
+  return nl;
+}
+
+}  // namespace tz::test
