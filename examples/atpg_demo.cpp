@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "atpg/fault_sim_engine.hpp"
 #include "atpg/test_set.hpp"
 #include "gen/iscas.hpp"
 
@@ -18,21 +19,31 @@ int main(int argc, char** argv) {
   std::cout << "fault universe: " << universe.size() << " -> "
             << faults.size() << " after collapsing\n";
 
-  // Random grading.
+  // Random grading through a reusable engine: the good machine is simulated
+  // once and shared by every fault, and the same engine answers the
+  // per-fault queries below without re-running it.
   const PatternSet rnd = random_patterns(nl.inputs().size(), 64, 1);
+  FaultSimEngine engine(nl, rnd);
+  const std::vector<bool> rnd_det = engine.simulate(faults);
+  std::size_t rnd_covered = 0;
+  for (const bool d : rnd_det) rnd_covered += d ? 1 : 0;
   std::cout << "64 random patterns cover "
-            << 100.0 * grade_patterns(nl, faults, rnd).coverage() << "%\n";
+            << 100.0 * static_cast<double>(rnd_covered) /
+                   static_cast<double>(faults.size())
+            << "%\n";
 
-  // A single PODEM run, narrated.
-  for (const Fault& f : faults) {
+  // A single PODEM run, narrated: target the first random-resistant fault.
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (rnd_det[i]) continue;
+    const Fault& f = faults[i];
     const PodemResult r = podem(nl, f);
-    if (r.status == PodemStatus::Detected && !detects(nl, f, rnd)) {
+    if (r.status == PodemStatus::Detected) {
       std::cout << "PODEM targets random-resistant fault "
                 << to_string(nl, f) << " in " << r.backtracks
                 << " backtracks; pattern:";
-      for (std::size_t i = 0; i < std::min<std::size_t>(16, r.pattern.size());
-           ++i) {
-        std::cout << (i ? "" : " ") << r.pattern[i];
+      for (std::size_t b = 0; b < std::min<std::size_t>(16, r.pattern.size());
+           ++b) {
+        std::cout << (b ? "" : " ") << r.pattern[b];
       }
       std::cout << (r.pattern.size() > 16 ? "...\n" : "\n");
       break;

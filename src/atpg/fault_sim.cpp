@@ -2,137 +2,20 @@
 
 #include <cstdint>
 
+#include "atpg/fault_sim_engine.hpp"
+
 namespace tz {
-namespace {
-
-/// Forward-evaluate the faulty machine given good-machine values, touching
-/// only the fault's transitive fanout (event-driven style but in topological
-/// order for simplicity and bit-parallelism). When `bits` is non-null it
-/// receives the per-pattern detection bitmap (and no early exit happens).
-bool fault_detected(const Netlist& nl, const std::vector<NodeId>& order,
-                    const NodeValues& good, const Fault& f,
-                    std::size_t words, std::uint64_t tail,
-                    std::vector<std::uint64_t>* bits = nullptr) {
-  // faulty values initialised lazily: nodes outside the fanout cone equal
-  // the good machine.
-  std::vector<std::uint64_t> faulty;
-  std::vector<char> touched(nl.raw_size(), 0);
-  faulty.assign(nl.raw_size() * words, 0);
-  auto frow = [&](NodeId id) { return faulty.data() + id * words; };
-
-  const std::uint64_t inject =
-      f.value == StuckAt::One ? ~std::uint64_t{0} : 0;
-  for (std::size_t w = 0; w < words; ++w) frow(f.node)[w] = inject;
-  touched[f.node] = 1;
-
-  auto value_of = [&](NodeId id, std::size_t w) -> std::uint64_t {
-    return touched[id] ? frow(id)[w] : good.row(id)[w];
-  };
-
-  for (NodeId id : order) {
-    if (id == f.node) continue;
-    const Node& n = nl.node(id);
-    if (n.type == GateType::Input || n.type == GateType::Dff) continue;
-    bool any_touched = false;
-    for (NodeId fi : n.fanin) {
-      if (touched[fi]) { any_touched = true; break; }
-    }
-    if (!any_touched) continue;
-    std::uint64_t* out = frow(id);
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t v = 0;
-      switch (n.type) {
-        case GateType::Const0: v = 0; break;
-        case GateType::Const1: v = ~std::uint64_t{0}; break;
-        case GateType::Buf: v = value_of(n.fanin[0], w); break;
-        case GateType::Not: v = ~value_of(n.fanin[0], w); break;
-        case GateType::And: {
-          v = ~std::uint64_t{0};
-          for (NodeId fi : n.fanin) v &= value_of(fi, w);
-          break;
-        }
-        case GateType::Nand: {
-          v = ~std::uint64_t{0};
-          for (NodeId fi : n.fanin) v &= value_of(fi, w);
-          v = ~v;
-          break;
-        }
-        case GateType::Or: {
-          v = 0;
-          for (NodeId fi : n.fanin) v |= value_of(fi, w);
-          break;
-        }
-        case GateType::Nor: {
-          v = 0;
-          for (NodeId fi : n.fanin) v |= value_of(fi, w);
-          v = ~v;
-          break;
-        }
-        case GateType::Xor: {
-          v = 0;
-          for (NodeId fi : n.fanin) v ^= value_of(fi, w);
-          break;
-        }
-        case GateType::Xnor: {
-          v = 0;
-          for (NodeId fi : n.fanin) v ^= value_of(fi, w);
-          v = ~v;
-          break;
-        }
-        case GateType::Mux: {
-          const std::uint64_t s = value_of(n.fanin[0], w);
-          v = (~s & value_of(n.fanin[1], w)) | (s & value_of(n.fanin[2], w));
-          break;
-        }
-        case GateType::Input:
-        case GateType::Dff:
-          break;
-      }
-      out[w] = v;
-    }
-    touched[id] = 1;
-  }
-
-  if (bits) bits->assign(words, 0);
-  bool any = false;
-  for (NodeId po : nl.outputs()) {
-    if (!touched[po]) continue;
-    const std::uint64_t* g = good.row(po);
-    const std::uint64_t* fv = frow(po);
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t diff = g[w] ^ fv[w];
-      if (w + 1 == words) diff &= tail;
-      if (diff) {
-        any = true;
-        if (!bits) return true;
-        (*bits)[w] |= diff;
-      }
-    }
-  }
-  return any;
-}
-
-}  // namespace
 
 bool detects(const Netlist& nl, const Fault& f, const PatternSet& patterns) {
-  BitSimulator sim(nl);
-  const NodeValues good = sim.run(patterns);
-  return fault_detected(nl, nl.topo_order(), good, f, patterns.num_words(),
-                        patterns.tail_mask());
+  FaultSimEngine engine(nl, patterns);
+  return engine.detects(f);
 }
 
 std::vector<bool> fault_simulate(const Netlist& nl,
                                  const std::vector<Fault>& faults,
                                  const PatternSet& patterns) {
-  BitSimulator sim(nl);
-  const NodeValues good = sim.run(patterns);
-  const std::vector<NodeId> order = nl.topo_order();
-  std::vector<bool> detected(faults.size(), false);
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    detected[i] = fault_detected(nl, order, good, faults[i],
-                                 patterns.num_words(), patterns.tail_mask());
-  }
-  return detected;
+  FaultSimEngine engine(nl, patterns);
+  return engine.simulate(faults);
 }
 
 CoverageReport grade_patterns(const Netlist& nl,
@@ -150,13 +33,10 @@ CoverageReport grade_patterns(const Netlist& nl,
 std::vector<std::vector<std::uint64_t>> detection_matrix(
     const Netlist& nl, const std::vector<Fault>& faults,
     const PatternSet& patterns) {
-  BitSimulator sim(nl);
-  const NodeValues good = sim.run(patterns);
-  const std::vector<NodeId> order = nl.topo_order();
+  FaultSimEngine engine(nl, patterns);
   std::vector<std::vector<std::uint64_t>> matrix(faults.size());
   for (std::size_t i = 0; i < faults.size(); ++i) {
-    fault_detected(nl, order, good, faults[i], patterns.num_words(),
-                   patterns.tail_mask(), &matrix[i]);
+    matrix[i] = engine.detection_bits(faults[i]);
   }
   return matrix;
 }

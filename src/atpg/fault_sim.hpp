@@ -1,10 +1,12 @@
-// Bit-parallel stuck-at fault simulation.
+// Bit-parallel stuck-at fault simulation — convenience wrappers.
 //
 // Simulates the faulty machine for each fault over 64 patterns per word and
 // compares primary outputs against the good machine. Used to grade pattern
 // sets (fault coverage), to drop detected faults during ATPG, and by tests
 // to prove the defender's patterns still detect all testable faults after a
-// TrojanZero insertion.
+// TrojanZero insertion. Each call constructs a FaultSimEngine
+// (atpg/fault_sim_engine.hpp) internally; callers simulating many pattern
+// sets or dropping faults incrementally should hold an engine directly.
 #pragma once
 
 #include <cstdint>

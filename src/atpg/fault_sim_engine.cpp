@@ -1,0 +1,169 @@
+#include "atpg/fault_sim_engine.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sim/gate_eval.hpp"
+
+namespace tz {
+
+FaultSimEngine::FaultSimEngine(const Netlist& nl)
+    : nl_(&nl),
+      sim_(nl),
+      rank_(nl.raw_size(), 0),
+      po_reach_(nl.raw_size(), 0),
+      touched_(nl.raw_size(), 0),
+      queued_(nl.raw_size(), 0) {
+  const std::vector<NodeId>& order = sim_.order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank_[order[i]] = static_cast<std::uint32_t>(i);
+  }
+  // Static reachability: a fault effect at node x is observable only if some
+  // combinational path leads from x to a primary output; DFFs block a
+  // single-pass propagation exactly as they do in BitSimulator::run. Reverse
+  // topological order guarantees every combinational reader is resolved
+  // before the node itself.
+  for (NodeId po : nl.outputs()) po_reach_[po] = 1;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId id = *it;
+    if (po_reach_[id]) continue;
+    for (NodeId reader : nl.node(id).fanout) {
+      if (nl.is_alive(reader) && nl.node(reader).type != GateType::Dff &&
+          po_reach_[reader]) {
+        po_reach_[id] = 1;
+        break;
+      }
+    }
+  }
+}
+
+FaultSimEngine::FaultSimEngine(const Netlist& nl, const PatternSet& patterns)
+    : FaultSimEngine(nl) {
+  set_patterns(patterns);
+}
+
+void FaultSimEngine::set_patterns(const PatternSet& patterns) {
+  good_ = sim_.run(patterns);
+  words_ = patterns.num_words();
+  tail_ = patterns.tail_mask();
+  faulty_.resize(nl_->raw_size() * words_);
+  bits_.assign(words_, 0);
+}
+
+bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
+  if (want_bits) std::fill(bits_.begin(), bits_.end(), 0);
+  if (!nl_->is_alive(f.node) || !po_reach_[f.node] || words_ == 0) {
+    return false;
+  }
+
+  // Seed: inject the stuck value at the site. If no pattern excites the
+  // fault (good value already equals the stuck value everywhere), nothing
+  // can propagate — skip the whole cone.
+  const std::uint64_t inject =
+      f.value == StuckAt::One ? ~std::uint64_t{0} : 0;
+  const std::uint64_t* g = good_.row(f.node);
+  std::uint64_t excited = 0;
+  for (std::size_t w = 0; w < words_; ++w) {
+    std::uint64_t diff = inject ^ g[w];
+    if (w + 1 == words_) diff &= tail_;
+    excited |= diff;
+  }
+  if (!excited) return false;
+
+  std::uint64_t* site = frow(f.node);
+  for (std::size_t w = 0; w < words_; ++w) site[w] = inject;
+  // Blend the padding lanes of the last word with the good row so the
+  // event cascade below sees no phantom difference past the last pattern.
+  site[words_ - 1] = (inject & tail_) | (g[words_ - 1] & ~tail_);
+  touched_[f.node] = 1;
+  visited_.push_back(f.node);
+
+  const auto by_rank = [this](NodeId a, NodeId b) {
+    return rank_[a] > rank_[b];  // min-heap on topological rank
+  };
+  const auto schedule = [&](NodeId src) {
+    for (NodeId reader : nl_->node(src).fanout) {
+      if (queued_[reader] || !nl_->is_alive(reader)) continue;
+      const GateType t = nl_->node(reader).type;
+      if (t == GateType::Dff || t == GateType::Input) continue;
+      queued_[reader] = 1;
+      heap_.push_back(reader);
+      std::push_heap(heap_.begin(), heap_.end(), by_rank);
+    }
+  };
+  const auto value_of = [&](NodeId id) -> const std::uint64_t* {
+    return touched_[id] ? frow(id) : good_.row(id);
+  };
+
+  // Event-driven cone evaluation. The heap pops in topological order, so by
+  // the time a gate is evaluated all of its touched fanins are final; a gate
+  // whose faulty row equals the good row generates no further events.
+  schedule(f.node);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), by_rank);
+    const NodeId id = heap_.back();
+    heap_.pop_back();
+    queued_[id] = 0;
+    std::uint64_t* out = frow(id);
+    eval_gate_row(nl_->node(id), words_, value_of, out);
+    const std::uint64_t* gr = good_.row(id);
+    std::uint64_t changed = 0;
+    for (std::size_t w = 0; w < words_; ++w) changed |= out[w] ^ gr[w];
+    if (!changed) continue;  // row not marked touched; readers see good_
+    touched_[id] = 1;
+    visited_.push_back(id);
+    schedule(id);
+  }
+
+  bool any = false;
+  for (NodeId po : nl_->outputs()) {
+    if (!touched_[po]) continue;
+    const std::uint64_t* gp = good_.row(po);
+    const std::uint64_t* fp = frow(po);
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t diff = gp[w] ^ fp[w];
+      if (w + 1 == words_) diff &= tail_;
+      if (!diff) continue;
+      any = true;
+      if (!want_bits) goto done;
+      bits_[w] |= diff;
+    }
+  }
+done:
+  for (NodeId id : visited_) touched_[id] = 0;
+  visited_.clear();
+  return any;
+}
+
+bool FaultSimEngine::detects(const Fault& f) {
+  return simulate_fault(f, /*want_bits=*/false);
+}
+
+const std::vector<std::uint64_t>& FaultSimEngine::detection_bits(
+    const Fault& f) {
+  simulate_fault(f, /*want_bits=*/true);
+  return bits_;
+}
+
+std::vector<bool> FaultSimEngine::simulate(std::span<const Fault> faults) {
+  std::vector<bool> detected(faults.size(), false);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    detected[i] = simulate_fault(faults[i], /*want_bits=*/false);
+  }
+  return detected;
+}
+
+std::size_t FaultSimEngine::drop_sim(std::span<const Fault> faults,
+                                     std::vector<bool>& detected) {
+  std::size_t newly = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (detected[i]) continue;
+    if (simulate_fault(faults[i], /*want_bits=*/false)) {
+      detected[i] = true;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+}  // namespace tz

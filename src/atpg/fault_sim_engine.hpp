@@ -1,0 +1,91 @@
+// Reusable bit-parallel stuck-at fault-simulation engine.
+//
+// A FaultSimEngine is constructed once per (netlist, pattern-set) pair and
+// owns all scratch state, so simulating one fault costs O(fanout cone):
+//  - the good-machine simulation runs once and is shared by every fault;
+//  - per-fault faulty values are computed event-driven over an explicit
+//    worklist ordered by topological rank, touching (and later clearing)
+//    only the rows the fault's effect actually reaches — no netlist-sized
+//    zero-fill per fault;
+//  - a static fanout-cone -> primary-output reachability pass skips faults
+//    that can never be observed, and a masked excitation check skips faults
+//    the pattern set never activates;
+//  - first-class fault dropping (`drop_sim`) lets callers re-simulate only
+//    still-undetected faults as patterns accumulate, which turns the ATPG
+//    deterministic phase from quadratic re-simulation into incremental work.
+//
+// The free functions in atpg/fault_sim.hpp are thin wrappers over this class.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+
+class FaultSimEngine {
+ public:
+  /// Binds the netlist and runs the good machine on `patterns`. The netlist
+  /// must outlive the engine and stay structurally unchanged while in use.
+  FaultSimEngine(const Netlist& nl, const PatternSet& patterns);
+
+  /// Netlist-only construction (static analyses run, no good machine yet);
+  /// call set_patterns() before simulating any fault.
+  explicit FaultSimEngine(const Netlist& nl);
+
+  /// Re-run the good machine on a new pattern set, keeping the static
+  /// netlist analyses (topological ranks, PO reachability). Scratch buffers
+  /// are reused when the word count allows.
+  void set_patterns(const PatternSet& patterns);
+
+  /// True iff some pattern propagates fault `f` to a primary output.
+  bool detects(const Fault& f);
+
+  /// Per-pattern detection bitmap for `f`: bit 64w+b of word w is set iff
+  /// pattern 64w+b detects the fault. Valid until the next simulate call.
+  const std::vector<std::uint64_t>& detection_bits(const Fault& f);
+
+  /// Detect flags for all `faults`, parallel to the input span.
+  std::vector<bool> simulate(std::span<const Fault> faults);
+
+  /// Fault dropping: simulate only faults with `!detected[i]`, setting their
+  /// flag once detected. Returns the number of newly detected faults.
+  /// `detected` must be parallel to `faults`.
+  std::size_t drop_sim(std::span<const Fault> faults,
+                       std::vector<bool>& detected);
+
+  std::size_t num_words() const { return words_; }
+  const NodeValues& good() const { return good_; }
+
+  /// Static reachability: false means no combinational path from `id` to any
+  /// primary output exists, so no fault at `id` is ever detectable.
+  bool po_reachable(NodeId id) const { return po_reach_[id] != 0; }
+
+ private:
+  /// Event-driven faulty-machine evaluation; leaves the detection bitmap in
+  /// `bits_` when `want_bits`, else exits early on the first detecting word.
+  bool simulate_fault(const Fault& f, bool want_bits);
+
+  std::uint64_t* frow(NodeId id) { return faulty_.data() + id * words_; }
+
+  const Netlist* nl_;
+  BitSimulator sim_;
+  std::vector<std::uint32_t> rank_;  ///< topo rank per node (worklist order)
+  std::vector<char> po_reach_;       ///< static cone -> PO reachability
+  NodeValues good_;
+  std::size_t words_ = 0;
+  std::uint64_t tail_ = 0;
+  // Per-fault scratch, reset via `visited_` so cost tracks the cone size.
+  std::vector<std::uint64_t> faulty_;  ///< rows valid only where touched_
+  std::vector<char> touched_;
+  std::vector<char> queued_;
+  std::vector<NodeId> visited_;  ///< touched rows to un-touch after a fault
+  std::vector<NodeId> heap_;     ///< min-heap on rank_
+  std::vector<std::uint64_t> bits_;  ///< detection bitmap of the last fault
+};
+
+}  // namespace tz

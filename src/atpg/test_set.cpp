@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <random>
 
+#include "atpg/fault_sim_engine.hpp"
 #include "prob/signal_prob.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,7 +42,11 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
   for (const auto d : detected) covered += d ? 1 : 0;
 
   // Phase 2: PODEM on survivors, dropping newly covered faults as we go and
-  // stopping at the defender's coverage target.
+  // stopping at the defender's coverage target. One engine carries the
+  // static netlist analyses across candidate patterns, and drop_sim only
+  // re-simulates still-undetected faults — incremental work per pattern
+  // instead of a full fault-universe sweep.
+  FaultSimEngine engine(nl);
   std::vector<std::size_t> order(faults.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   if (opt.fault_order == TestGenOptions::FaultOrder::Shuffled) {
@@ -88,16 +93,10 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
       one.set(0, s, bit);
     }
     // Drop every remaining fault this new pattern detects.
-    const std::vector<bool> extra = fault_simulate(nl, faults, one);
-    bool confirms = false;
-    for (std::size_t j = 0; j < faults.size(); ++j) {
-      if (!detected[j] && extra[j]) {
-        detected[j] = true;
-        ++covered;
-        confirms = true;
-      }
-    }
-    if (confirms) patterns.append_all(one);
+    engine.set_patterns(one);
+    const std::size_t newly = engine.drop_sim(faults, detected);
+    covered += newly;
+    if (newly > 0) patterns.append_all(one);
   }
 
   for (bool d : detected) {

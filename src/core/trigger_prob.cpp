@@ -35,6 +35,9 @@ double monte_carlo_pft(const Netlist& infected, NodeId fire_node,
   if (!infected.is_alive(fire_node)) {
     throw std::invalid_argument("monte_carlo_pft: bad fire node");
   }
+  if (trials == 0) {
+    throw std::invalid_argument("monte_carlo_pft: zero trials");
+  }
   std::mt19937_64 rng(seed);
   std::size_t hits = 0;
   std::vector<bool> in(infected.inputs().size());
@@ -57,6 +60,9 @@ double sampled_untargeted_probability(const Netlist& original,
                                       const Netlist& modified,
                                       std::size_t samples,
                                       std::uint64_t seed) {
+  if (samples == 0) {
+    throw std::invalid_argument("sampled_untargeted_probability: zero samples");
+  }
   const PatternSet ps =
       random_patterns(original.inputs().size(), samples, seed);
   const PatternSet a = BitSimulator(original).outputs(ps);

@@ -72,10 +72,6 @@ bool fold_gate(Netlist& nl, NodeId id) {
       nl.sweep_dead_gates();
       return;
     }
-    // Need an inverter: retype in place when arity allows.
-    std::vector<NodeId> keep{src};
-    // Rebuild as NOT by creating a fresh gate is complicated mid-iteration;
-    // instead retype to NOT after trimming fanin via a rebuilt gate.
     const std::string inv_name = unique_name(nl, nl.node(id).name + "_inv");
     const NodeId inv = nl.add_gate(GateType::Not, inv_name, {src});
     nl.rewire_and_remove(id, inv);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 
 #include "sim/patterns.hpp"
 #include "sim/simulator.hpp"
@@ -52,7 +53,8 @@ double gate_p1(const Node& n, const std::vector<double>& p) {
     }
     case GateType::Input:
     case GateType::Dff:
-      return p[n.fanin.empty() ? 0 : n.fanin[0]];  // unreachable
+      // Sources are seeded by the caller, never evaluated here.
+      throw std::logic_error("gate_p1: source node");
   }
   return 0.0;
 }

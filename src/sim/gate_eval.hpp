@@ -1,0 +1,148 @@
+// Row-major gate evaluation shared by the bit-parallel engines.
+//
+// Evaluates one gate over a whole row of packed pattern words so the inner
+// word loop is a straight-line bitwise kernel the compiler can vectorize.
+// `get` maps NodeId -> const row pointer of `words` machine words; `out`
+// receives the gate's row and must not alias any fanin row (combinational
+// gates never read themselves), which __restrict passes on to the compiler
+// so the accumulation stays in registers.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// Single-word variant: evaluate one gate over one packed word. `get` maps
+/// NodeId -> word value. Accumulates in a register — the fast path for
+/// one-word rows and the cycle-accurate simulator.
+template <typename Get>
+std::uint64_t eval_gate_word(const Node& n, Get&& get) {
+  switch (n.type) {
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~std::uint64_t{0};
+    case GateType::Buf: return get(n.fanin[0]);
+    case GateType::Not: return ~get(n.fanin[0]);
+    case GateType::And: {
+      std::uint64_t v = ~std::uint64_t{0};
+      for (NodeId f : n.fanin) v &= get(f);
+      return v;
+    }
+    case GateType::Nand: {
+      std::uint64_t v = ~std::uint64_t{0};
+      for (NodeId f : n.fanin) v &= get(f);
+      return ~v;
+    }
+    case GateType::Or: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v |= get(f);
+      return v;
+    }
+    case GateType::Nor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v |= get(f);
+      return ~v;
+    }
+    case GateType::Xor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v ^= get(f);
+      return v;
+    }
+    case GateType::Xnor: {
+      std::uint64_t v = 0;
+      for (NodeId f : n.fanin) v ^= get(f);
+      return ~v;
+    }
+    case GateType::Mux: {
+      const std::uint64_t s = get(n.fanin[0]);
+      return (~s & get(n.fanin[1])) | (s & get(n.fanin[2]));
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      throw std::logic_error("eval_gate_word: source node");
+  }
+  return 0;
+}
+
+template <typename GetRow>
+void eval_gate_row(const Node& n, std::size_t words, GetRow&& get,
+                   std::uint64_t* __restrict out) {
+  if (words == 1) {
+    // Register accumulation beats the vectorized row loops at one word.
+    *out = eval_gate_word(n, [&](NodeId f) { return *get(f); });
+    return;
+  }
+  switch (n.type) {
+    case GateType::Const0:
+      for (std::size_t w = 0; w < words; ++w) out[w] = 0;
+      break;
+    case GateType::Const1:
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~std::uint64_t{0};
+      break;
+    case GateType::Buf: {
+      const std::uint64_t* a = get(n.fanin[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      break;
+    }
+    case GateType::Not: {
+      const std::uint64_t* a = get(n.fanin[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~a[w];
+      break;
+    }
+    case GateType::And:
+    case GateType::Nand: {
+      const std::uint64_t* a = get(n.fanin[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n.fanin.size(); ++i) {
+        const std::uint64_t* b = get(n.fanin[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] &= b[w];
+      }
+      if (n.type == GateType::Nand) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      const std::uint64_t* a = get(n.fanin[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n.fanin.size(); ++i) {
+        const std::uint64_t* b = get(n.fanin[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] |= b[w];
+      }
+      if (n.type == GateType::Nor) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      const std::uint64_t* a = get(n.fanin[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < n.fanin.size(); ++i) {
+        const std::uint64_t* b = get(n.fanin[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] ^= b[w];
+      }
+      if (n.type == GateType::Xnor) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    case GateType::Mux: {
+      const std::uint64_t* s = get(n.fanin[0]);
+      const std::uint64_t* a = get(n.fanin[1]);
+      const std::uint64_t* b = get(n.fanin[2]);
+      for (std::size_t w = 0; w < words; ++w) {
+        out[w] = (~s[w] & a[w]) | (s[w] & b[w]);
+      }
+      break;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      throw std::logic_error("eval_gate_row: source node");
+  }
+}
+
+}  // namespace tz

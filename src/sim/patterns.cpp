@@ -42,6 +42,19 @@ std::uint64_t PatternSet::tail_mask() const {
   return (std::uint64_t{1} << rem) - 1;
 }
 
+PatternSet PatternSet::slice(std::size_t first, std::size_t count) const {
+  if (first > num_patterns_ || count > num_patterns_ - first) {
+    throw std::out_of_range("PatternSet::slice");
+  }
+  PatternSet out(num_signals_, count);
+  for (std::size_t p = 0; p < count; ++p) {
+    for (std::size_t s = 0; s < num_signals_; ++s) {
+      out.set(p, s, get(first + p, s));
+    }
+  }
+  return out;
+}
+
 void PatternSet::append(std::span<const bool> bits) {
   if (bits.size() != num_signals_) throw std::invalid_argument("append: width");
   PatternSet grown(num_signals_, num_patterns_ + 1);

@@ -30,6 +30,9 @@ class PatternSet {
   /// Mask with ones for every valid pattern position in the last word.
   std::uint64_t tail_mask() const;
 
+  /// Copy `count` consecutive patterns starting at `first` into a new set.
+  PatternSet slice(std::size_t first, std::size_t count) const;
+
   /// Append one pattern given per-signal bits (size == num_signals).
   void append(std::span<const bool> bits);
 

@@ -1,62 +1,13 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
 
+#include "sim/gate_eval.hpp"
+
 namespace tz {
-namespace {
-
-/// Evaluate one gate over packed words. `get` maps NodeId -> word.
-template <typename Get>
-std::uint64_t eval_gate(const Node& n, Get&& get) {
-  switch (n.type) {
-    case GateType::Const0: return 0;
-    case GateType::Const1: return ~std::uint64_t{0};
-    case GateType::Buf: return get(n.fanin[0]);
-    case GateType::Not: return ~get(n.fanin[0]);
-    case GateType::And: {
-      std::uint64_t v = ~std::uint64_t{0};
-      for (NodeId f : n.fanin) v &= get(f);
-      return v;
-    }
-    case GateType::Nand: {
-      std::uint64_t v = ~std::uint64_t{0};
-      for (NodeId f : n.fanin) v &= get(f);
-      return ~v;
-    }
-    case GateType::Or: {
-      std::uint64_t v = 0;
-      for (NodeId f : n.fanin) v |= get(f);
-      return v;
-    }
-    case GateType::Nor: {
-      std::uint64_t v = 0;
-      for (NodeId f : n.fanin) v |= get(f);
-      return ~v;
-    }
-    case GateType::Xor: {
-      std::uint64_t v = 0;
-      for (NodeId f : n.fanin) v ^= get(f);
-      return v;
-    }
-    case GateType::Xnor: {
-      std::uint64_t v = 0;
-      for (NodeId f : n.fanin) v ^= get(f);
-      return ~v;
-    }
-    case GateType::Mux: {
-      const std::uint64_t s = get(n.fanin[0]);
-      return (~s & get(n.fanin[1])) | (s & get(n.fanin[2]));
-    }
-    case GateType::Input:
-    case GateType::Dff:
-      throw std::logic_error("eval_gate: source node");
-  }
-  return 0;
-}
-
-}  // namespace
 
 BitSimulator::BitSimulator(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {}
 
@@ -82,13 +33,24 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
       for (std::size_t w = 0; w < words; ++w) dst[w] = (*dff_state)[i];
     }
   }
-  for (std::size_t w = 0; w < words; ++w) {
+  // Node-major: one pass over the topological order with the word loop
+  // innermost, so each gate is a straight-line bitwise kernel over its rows.
+  // At one word the row loops cost more than they save; use the register
+  // accumulating scalar kernel directly.
+  if (words == 1) {
     for (NodeId id : order_) {
       const Node& n = nl.node(id);
       if (n.type == GateType::Input || n.type == GateType::Dff) continue;
-      vals.row(id)[w] =
-          eval_gate(n, [&](NodeId f) { return vals.row(f)[w]; });
+      vals.row(id)[0] =
+          eval_gate_word(n, [&](NodeId f) { return vals.row(f)[0]; });
     }
+    return vals;
+  }
+  for (NodeId id : order_) {
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input || n.type == GateType::Dff) continue;
+    eval_gate_row(
+        n, words, [&](NodeId f) { return vals.row(f); }, vals.row(id));
   }
   return vals;
 }
@@ -129,19 +91,26 @@ std::vector<std::uint64_t> count_toggles(const Netlist& nl,
   const NodeValues vals = sim.run(inputs);
   std::vector<std::uint64_t> toggles(nl.raw_size(), 0);
   const std::size_t p_count = inputs.num_patterns();
+  const std::size_t words = inputs.num_words();
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
     if (!nl.is_alive(id)) continue;
     const std::uint64_t* row = vals.row(id);
     // Transitions between consecutive patterns: XOR the bit stream with a
-    // one-position shift of itself and popcount.
+    // one-position shift of itself and popcount. Bit i of word w pairs
+    // pattern 64w+i with 64w+i+1; the shift carries the next word's lowest
+    // bit into position 63 so the cross-word pair is counted too.
     std::uint64_t total = 0;
-    bool prev = false;
-    bool have_prev = false;
-    for (std::size_t p = 0; p < p_count; ++p) {
-      const bool cur = (row[p / 64] >> (p % 64)) & 1;
-      if (have_prev && cur != prev) ++total;
-      prev = cur;
-      have_prev = true;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::size_t base = 64 * w;
+      if (base + 1 >= p_count) break;  // no pair starts in this word
+      const std::uint64_t x = row[w];
+      const std::uint64_t carry = w + 1 < words ? row[w + 1] << 63 : 0;
+      const std::uint64_t shifted = (x >> 1) | carry;
+      // Pair i is valid while its second pattern 64w+i+1 < p_count.
+      const std::size_t pairs = std::min<std::size_t>(64, p_count - 1 - base);
+      const std::uint64_t mask =
+          pairs >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << pairs) - 1;
+      total += static_cast<std::uint64_t>(std::popcount((x ^ shifted) & mask));
     }
     toggles[id] = total;
   }
@@ -199,7 +168,7 @@ std::vector<bool> CycleSimulator::step(const std::vector<bool>& input_bits) {
   for (NodeId id : order_) {
     const Node& n = nl.node(id);
     if (n.type == GateType::Input || n.type == GateType::Dff) continue;
-    value_[id] = eval_gate(n, [&](NodeId f) { return value_[f]; });
+    value_[id] = eval_gate_word(n, [&](NodeId f) { return value_[f]; });
   }
   // Toggle accounting against the previous settled cycle.
   if (has_prev_) {

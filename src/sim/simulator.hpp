@@ -54,6 +54,10 @@ class BitSimulator {
 
   const Netlist& netlist() const { return *nl_; }
 
+  /// The captured topological order; lets callers that already hold a
+  /// simulator reuse the sort instead of recomputing it.
+  const std::vector<NodeId>& order() const { return order_; }
+
  private:
   const Netlist* nl_;
   std::vector<NodeId> order_;

@@ -2,6 +2,7 @@
 #include <cstdint>
 #include <gtest/gtest.h>
 
+#include "atpg/fault_sim_engine.hpp"
 #include "atpg/test_set.hpp"
 #include "gen/iscas.hpp"
 #include "gen/random_circuit.hpp"
@@ -9,6 +10,29 @@
 
 namespace tz {
 namespace {
+
+/// Independent serial reference for fault simulation: materialise the faulty
+/// machine as a netlist copy whose fault site is replaced by a tie cell,
+/// simulate both machines in full, and OR the per-output differences into a
+/// per-pattern bitmap. Shares no code with FaultSimEngine's event-driven
+/// cone evaluation.
+std::vector<std::uint64_t> reference_detection_bits(const Netlist& nl,
+                                                    const Fault& f,
+                                                    const PatternSet& ps) {
+  Netlist faulty = nl;
+  const NodeId tie = faulty.const_node(f.value == StuckAt::One);
+  faulty.replace_uses(f.node, tie);
+  const PatternSet good = BitSimulator(nl).outputs(ps);
+  const PatternSet bad = BitSimulator(faulty).outputs(ps);
+  std::vector<std::uint64_t> bits(ps.num_words(), 0);
+  for (std::size_t o = 0; o < good.num_signals(); ++o) {
+    auto g = good.words(o);
+    auto b = bad.words(o);
+    for (std::size_t w = 0; w < bits.size(); ++w) bits[w] |= g[w] ^ b[w];
+  }
+  if (!bits.empty()) bits.back() &= ps.tail_mask();
+  return bits;
+}
 
 TEST(FaultUniverse, TwoFaultsPerSite) {
   const Netlist nl = gen_c17();
@@ -236,6 +260,83 @@ TEST_P(PodemComplete, UntestableMeansUndetectable) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PodemComplete,
                          ::testing::Values(31, 37, 41, 43, 47));
+
+/// Property: on random circuits the engine's per-fault detect bitmaps match
+/// the tie-and-resimulate serial reference bit for bit, across a pattern
+/// count that crosses the 64-pattern word boundary.
+class FaultSimEquiv : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultSimEquiv, EngineMatchesSerialReference) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  spec.num_gates = 60;
+  const Netlist nl = random_circuit(spec);
+  const auto faults = fault_universe(nl);
+  const PatternSet ps = random_patterns(nl.inputs().size(), 70, GetParam());
+  FaultSimEngine engine(nl, ps);
+  const std::vector<bool> det = engine.simulate(faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const auto ref = reference_detection_bits(nl, faults[i], ps);
+    EXPECT_EQ(engine.detection_bits(faults[i]), ref)
+        << to_string(nl, faults[i]);
+    bool ref_any = false;
+    for (const std::uint64_t w : ref) ref_any |= w != 0;
+    EXPECT_EQ(det[i], ref_any) << to_string(nl, faults[i]);
+  }
+}
+
+TEST_P(FaultSimEquiv, DropSimOverSplitsMatchesFullSim) {
+  RandomCircuitSpec spec;
+  spec.seed = GetParam();
+  spec.num_gates = 60;
+  const Netlist nl = random_circuit(spec);
+  const auto faults = fault_universe(nl);
+  const PatternSet ps = random_patterns(nl.inputs().size(), 70, GetParam());
+  // Split the set in two and drop-simulate incrementally with one engine.
+  const PatternSet first = ps.slice(0, 37);
+  const PatternSet second = ps.slice(37, 33);
+  FaultSimEngine engine(nl);
+  std::vector<bool> dropped(faults.size(), false);
+  engine.set_patterns(first);
+  std::size_t covered = engine.drop_sim(faults, dropped);
+  engine.set_patterns(second);
+  covered += engine.drop_sim(faults, dropped);
+  const std::vector<bool> full = fault_simulate(nl, faults, ps);
+  EXPECT_EQ(dropped, full);
+  std::size_t full_covered = 0;
+  for (const bool d : full) full_covered += d ? 1 : 0;
+  EXPECT_EQ(covered, full_covered);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultSimEquiv,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+TEST(FaultSimEngine, UnreachableSiteSkippedStatically) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId dead = nl.add_gate(GateType::Not, "dead", {a});
+  const NodeId live = nl.add_gate(GateType::Buf, "live", {a});
+  nl.mark_output(live);
+  FaultSimEngine engine(nl, exhaustive_patterns(1));
+  EXPECT_FALSE(engine.po_reachable(dead));
+  EXPECT_TRUE(engine.po_reachable(a));
+  EXPECT_FALSE(engine.detects(Fault{dead, StuckAt::One}));
+  EXPECT_TRUE(engine.detects(Fault{a, StuckAt::One}));
+}
+
+TEST(FaultSimEngine, DffBlocksPropagationLikeBitSimulator) {
+  // A fault feeding only a DFF's d-input cannot reach a PO in one
+  // combinational pass, matching BitSimulator's single-pass semantics.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, "g", {a});
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {g});
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {q});
+  nl.mark_output(o);
+  FaultSimEngine engine(nl, exhaustive_patterns(1));
+  EXPECT_FALSE(engine.po_reachable(g));
+  EXPECT_FALSE(engine.detects(Fault{g, StuckAt::Zero}));
+}
 
 }  // namespace
 }  // namespace tz

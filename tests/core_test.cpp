@@ -298,5 +298,23 @@ TEST(UntargetedProbability, ExactAndSampledAgree) {
   EXPECT_NEAR(sampled, 1.0 / 64.0, 0.01);
 }
 
+TEST(TriggerProb, ZeroTrialsThrowsInsteadOfNaN) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Buf, "g", {a});
+  nl.mark_output(g);
+  EXPECT_THROW(monte_carlo_pft(nl, g, 16, /*trials=*/0, 1),
+               std::invalid_argument);
+}
+
+TEST(TriggerProb, ZeroSamplesThrowsInsteadOfNaN) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Buf, "g", {a});
+  nl.mark_output(g);
+  EXPECT_THROW(sampled_untargeted_probability(nl, nl, /*samples=*/0, 1),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tz

@@ -156,6 +156,53 @@ TEST(Scoap, RareCandidatesAreHardToDetect) {
   EXPECT_GT(median(cand_cost), median(all_cost));
 }
 
+TEST(Scoap, DffChainAccumulatesSequentialDepth) {
+  // Two DFFs in series: each stage costs its d-input plus one clock, so the
+  // deeper flop must be strictly harder to control than the seed value.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId q1 = nl.add_gate(GateType::Dff, "q1", {a});
+  const NodeId q2 = nl.add_gate(GateType::Dff, "q2", {q1});
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {q2});
+  nl.mark_output(o);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc0(q1), 2u);  // PI (1) + one clock
+  EXPECT_EQ(sc.cc1(q1), 2u);
+  EXPECT_EQ(sc.cc0(q2), 3u);  // q1 (2) + one clock — needs the fixpoint
+  EXPECT_EQ(sc.cc1(q2), 3u);
+}
+
+TEST(Scoap, DffRefinementSeesLogicCost) {
+  // The d-input is a wide AND, created after the DFF in the topological
+  // order; the seed of 2 must be replaced by the real cost of the cone.
+  Netlist nl;
+  const std::vector<NodeId> ins = add_inputs(nl, 4);
+  const NodeId tie = nl.const_node(false);
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {tie});
+  const NodeId d = nl.add_gate(GateType::And, "d", ins);
+  nl.relink_fanin(q, 0, d);
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {q});
+  nl.mark_output(o);
+  const Scoap sc(nl);
+  EXPECT_EQ(sc.cc1(q), 6u);  // CC1(AND4) = 4 + 1, plus one clock
+  EXPECT_EQ(sc.cc0(q), 3u);  // CC0(AND4) = 1 + 1, plus one clock
+}
+
+TEST(Scoap, DffFeedbackLoopStaysFiniteAndTerminates) {
+  // Toggle flop q' = NOT q: the fixpoint never stabilises, so the bounded
+  // iteration must stop on its own and leave finite costs.
+  Netlist nl;
+  const NodeId tie = nl.const_node(false);
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {tie});
+  const NodeId n = nl.add_gate(GateType::Not, "n", {q});
+  nl.relink_fanin(q, 0, n);
+  nl.mark_output(n);
+  const Scoap sc(nl);
+  EXPECT_LT(sc.cc0(q), kScoapInf);
+  EXPECT_LT(sc.cc1(q), kScoapInf);
+  EXPECT_GT(sc.cc0(q), 2u);  // refinement did run past the seed
+}
+
 TEST(Scoap, AllBenchmarksFinite) {
   for (const BenchmarkSpec& spec : iscas85_specs()) {
     const Netlist nl = make_benchmark(spec.name);

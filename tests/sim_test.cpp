@@ -159,6 +159,87 @@ TEST(CountToggles, CountsTransitions) {
   EXPECT_EQ(t[n], 2u);
 }
 
+TEST(CountToggles, WordBoundaryCarry) {
+  // A single 1 at pattern 64: the 63->64 rise is only visible if the carry
+  // of the last bit crosses the word boundary, and the 64->65 fall sits in
+  // the second word.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  nl.mark_output(a);
+  PatternSet ps(1, 130);
+  ps.set(64, 0, true);
+  EXPECT_EQ(count_toggles(nl, ps)[a], 2u);
+  // Exactly 64 patterns, last bit set: one rise and no phantom pair (63,64).
+  PatternSet exact(1, 64);
+  exact.set(63, 0, true);
+  EXPECT_EQ(count_toggles(nl, exact)[a], 1u);
+}
+
+TEST(CountToggles, MatchesScalarReferenceAcrossWords) {
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId n = nl.add_gate(GateType::Not, "n", {a});
+  nl.mark_output(n);
+  const PatternSet ps = random_patterns(1, 200, 77);
+  std::uint64_t expect = 0;
+  for (std::size_t p = 1; p < ps.num_patterns(); ++p) {
+    expect += ps.get(p, 0) != ps.get(p - 1, 0) ? 1 : 0;
+  }
+  const auto t = count_toggles(nl, ps);
+  EXPECT_EQ(t[a], expect);
+  EXPECT_EQ(t[n], expect);  // the inverter toggles exactly with its input
+}
+
+TEST(PatternSet, AppendCrossesWordBoundary) {
+  PatternSet ps(2, 64);
+  ps.set(63, 1, true);
+  const bool bits[] = {true, false};
+  ps.append(std::span<const bool>(bits, 2));
+  EXPECT_EQ(ps.num_patterns(), 65u);
+  EXPECT_EQ(ps.num_words(), 2u);
+  EXPECT_TRUE(ps.get(63, 1));
+  EXPECT_TRUE(ps.get(64, 0));
+  EXPECT_FALSE(ps.get(64, 1));
+  // Tail hygiene: positions past the last pattern stay zero.
+  for (std::size_t s = 0; s < ps.num_signals(); ++s) {
+    EXPECT_EQ(ps.words(s).back() & ~ps.tail_mask(), 0u) << "signal " << s;
+  }
+}
+
+TEST(PatternSet, SliceCopiesRangeAcrossWordBoundary) {
+  const PatternSet ps = random_patterns(3, 150, 13);
+  const PatternSet cut = ps.slice(60, 70);  // spans words 0..2 of the source
+  ASSERT_EQ(cut.num_patterns(), 70u);
+  for (std::size_t p = 0; p < cut.num_patterns(); ++p) {
+    for (std::size_t s = 0; s < cut.num_signals(); ++s) {
+      ASSERT_EQ(cut.get(p, s), ps.get(60 + p, s)) << p << "," << s;
+    }
+  }
+  for (std::size_t s = 0; s < cut.num_signals(); ++s) {
+    EXPECT_EQ(cut.words(s).back() & ~cut.tail_mask(), 0u);
+  }
+  EXPECT_THROW(ps.slice(100, 51), std::out_of_range);
+  // Subtraction-underflow counts must throw, not wrap past the guard.
+  EXPECT_THROW(ps.slice(151, 0), std::out_of_range);
+  EXPECT_THROW(ps.slice(10, static_cast<std::size_t>(-5)), std::out_of_range);
+}
+
+TEST(PatternSet, AppendAllCrossesWordBoundary) {
+  PatternSet a(1, 60);
+  a.set(59, 0, true);
+  PatternSet b(1, 10);
+  b.set(0, 0, true);
+  b.set(9, 0, true);
+  a.append_all(b);
+  EXPECT_EQ(a.num_patterns(), 70u);
+  EXPECT_EQ(a.num_words(), 2u);
+  EXPECT_TRUE(a.get(59, 0));
+  EXPECT_TRUE(a.get(60, 0));   // b's pattern 0 lands at 60, same word
+  EXPECT_TRUE(a.get(69, 0));   // b's pattern 9 crosses into word 1
+  EXPECT_FALSE(a.get(61, 0));
+  EXPECT_EQ(a.words(0).back() & ~a.tail_mask(), 0u);
+}
+
 TEST(SimulatedProbability, MatchesCounts) {
   Netlist nl;
   const NodeId a = nl.add_input("a");
