@@ -1,0 +1,38 @@
+// Release-build flow smoke for CI: run the complete TrojanZero flow on c880
+// and hard-fail unless the TrojanZero property held — the HT was inserted,
+// every defender algorithm passes on N'' and no power/area component
+// exceeds the HT-free threshold. Exercises the FlowEngine (suite oracle,
+// incremental power tracker, undo-log reverts) under the optimizer, where
+// ASan/UBSan debug runs would not catch codegen-only regressions.
+#include <cstdio>
+#include <iostream>
+
+#include "core/report.hpp"
+
+int main() {
+  const tz::FlowResult r = tz::run_trojanzero_flow("c880");
+  tz::print_table1_row(std::cout, r, tz::spec_for("c880"));
+
+  bool ok = true;
+  auto expect = [&](bool cond, const char* what) {
+    if (!cond) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      ok = false;
+    }
+  };
+  expect(r.salvage.expendable_gates > 0, "salvage freed gates");
+  expect(r.insertion.success, "HT inserted");
+  if (r.insertion.success) {
+    const tz::PowerReport& p = r.insertion.power;
+    const tz::PowerReport& t = r.insertion.threshold;
+    expect(p.total_uw() <= t.total_uw(), "total power cap");
+    expect(p.dynamic_uw <= t.dynamic_uw, "dynamic power cap");
+    expect(p.leakage_uw <= t.leakage_uw, "leakage power cap");
+    expect(p.area_ge <= t.area_ge, "area cap");
+    expect(tz::functional_test(r.insertion.infected, r.suite),
+           "defender suite passes on N''");
+  }
+  if (!ok) return 1;
+  std::puts("flow smoke OK");
+  return 0;
+}

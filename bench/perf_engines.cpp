@@ -124,6 +124,68 @@ void BM_SatEquivalence(benchmark::State& state) {
 }
 BENCHMARK(BM_SatEquivalence)->Unit(benchmark::kMillisecond);
 
+// ---- TrojanZero flow phases on the incremental FlowEngine ----
+// The defender suite and salvage result are built once per circuit so the
+// benchmarks time Algorithm 1/2 themselves, not the ATPG setup.
+
+struct FlowFixture {
+  tz::Netlist nl;
+  tz::DefenderSuite suite;
+  tz::PowerModel pm{tz::CellLibrary::tsmc65_like()};
+  tz::SalvageOptions sopt;
+  tz::SalvageResult salvage;
+};
+
+const FlowFixture& flow_fixture(const std::string& name) {
+  static std::map<std::string, FlowFixture> cache;
+  auto it = cache.find(name);
+  if (it == cache.end()) {
+    FlowFixture f;
+    f.nl = tz::make_benchmark(name);
+    f.suite =
+        tz::make_defender_suite(f.nl, tz::FlowOptions::atpg_only_defender());
+    f.sopt.pth = tz::spec_for(name).pth;
+    f.salvage = tz::salvage_power_area(f.nl, f.suite, f.pm, f.sopt);
+    it = cache.emplace(name, std::move(f)).first;
+  }
+  return it->second;
+}
+
+void BM_SalvageFlow(benchmark::State& state, const std::string& name) {
+  const FlowFixture& f = flow_fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tz::salvage_power_area(f.nl, f.suite, f.pm, f.sopt));
+  }
+}
+BENCHMARK_CAPTURE(BM_SalvageFlow, c880, "c880")
+    ->Unit(benchmark::kMillisecond);
+// >2k-gate array-multiplier stress: dense arithmetic where the defender's
+// coverage leaves almost nothing salvageable — the oracle still has to judge
+// every candidate cone.
+BENCHMARK_CAPTURE(BM_SalvageFlow, c6288, "c6288")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InsertTrojan(benchmark::State& state, const std::string& name,
+                     tz::InsertionOptions iopt) {
+  const FlowFixture& f = flow_fixture(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tz::insert_trojan(f.nl, f.salvage, f.suite, f.pm, iopt));
+  }
+}
+BENCHMARK_CAPTURE(BM_InsertTrojan, c880, "c880",
+                  tz::InsertionOptions{.library = {tz::counter_trojan(3),
+                                                  tz::counter_trojan(2)}})
+    ->Unit(benchmark::kMillisecond);
+// The multiplier's signal probabilities hug 0.5, so the rare-net cut is
+// relaxed to give the trigger search a real pool to walk.
+BENCHMARK_CAPTURE(BM_InsertTrojan, c6288, "c6288",
+                  tz::InsertionOptions{.library = {tz::counter_trojan(5),
+                                                  tz::counter_trojan(3)},
+                                       .rare_p1 = 0.25})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullTrojanZeroFlow(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tz::run_trojanzero_flow("c432"));

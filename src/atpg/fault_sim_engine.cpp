@@ -12,12 +12,12 @@ FaultSimEngine::FaultSimEngine(const Netlist& nl)
       sim_(nl),
       rank_(nl.raw_size(), 0),
       po_reach_(nl.raw_size(), 0),
-      touched_(nl.raw_size(), 0),
-      queued_(nl.raw_size(), 0) {
+      touched_(nl.raw_size(), 0) {
   const std::vector<NodeId>& order = sim_.order();
   for (std::size_t i = 0; i < order.size(); ++i) {
     rank_[order[i]] = static_cast<std::uint32_t>(i);
   }
+  worklist_.resize(nl.raw_size());
   // Static reachability: a fault effect at node x is observable only if some
   // combinational path leads from x to a primary output; DFFs block a
   // single-pass propagation exactly as they do in BitSimulator::run. Reverse
@@ -78,32 +78,24 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
   touched_[f.node] = 1;
   visited_.push_back(f.node);
 
-  const auto by_rank = [this](NodeId a, NodeId b) {
-    return rank_[a] > rank_[b];  // min-heap on topological rank
-  };
   const auto schedule = [&](NodeId src) {
     for (NodeId reader : nl_->node(src).fanout) {
-      if (queued_[reader] || !nl_->is_alive(reader)) continue;
+      if (!nl_->is_alive(reader)) continue;
       const GateType t = nl_->node(reader).type;
       if (t == GateType::Dff || t == GateType::Input) continue;
-      queued_[reader] = 1;
-      heap_.push_back(reader);
-      std::push_heap(heap_.begin(), heap_.end(), by_rank);
+      worklist_.push(reader);
     }
   };
   const auto value_of = [&](NodeId id) -> const std::uint64_t* {
     return touched_[id] ? frow(id) : good_.row(id);
   };
 
-  // Event-driven cone evaluation. The heap pops in topological order, so by
-  // the time a gate is evaluated all of its touched fanins are final; a gate
-  // whose faulty row equals the good row generates no further events.
+  // Event-driven cone evaluation. The worklist pops in topological order, so
+  // by the time a gate is evaluated all of its touched fanins are final; a
+  // gate whose faulty row equals the good row generates no further events.
   schedule(f.node);
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), by_rank);
-    const NodeId id = heap_.back();
-    heap_.pop_back();
-    queued_[id] = 0;
+  while (!worklist_.empty()) {
+    const NodeId id = worklist_.pop();
     std::uint64_t* out = frow(id);
     eval_gate_row(nl_->node(id), words_, value_of, out);
     const std::uint64_t* gr = good_.row(id);

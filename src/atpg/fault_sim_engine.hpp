@@ -23,6 +23,7 @@
 
 #include "atpg/fault.hpp"
 #include "sim/patterns.hpp"
+#include "sim/rank_worklist.hpp"
 #include "sim/simulator.hpp"
 
 namespace tz {
@@ -82,9 +83,8 @@ class FaultSimEngine {
   // Per-fault scratch, reset via `visited_` so cost tracks the cone size.
   std::vector<std::uint64_t> faulty_;  ///< rows valid only where touched_
   std::vector<char> touched_;
-  std::vector<char> queued_;
   std::vector<NodeId> visited_;  ///< touched rows to un-touch after a fault
-  std::vector<NodeId> heap_;     ///< min-heap on rank_
+  RankWorklist worklist_{rank_};
   std::vector<std::uint64_t> bits_;  ///< detection bitmap of the last fault
 };
 

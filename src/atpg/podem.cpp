@@ -6,51 +6,53 @@
 namespace tz {
 namespace {
 
-enum class L3 : std::uint8_t { F = 0, T = 1, X = 2 };
+// Three-valued logic over the PodemEngine encoding: 0, 1, 2 = X.
+using L3 = std::uint8_t;
+constexpr L3 kF = 0, kT = 1, kX = 2;
 
 L3 l3_not(L3 a) {
-  if (a == L3::X) return L3::X;
-  return a == L3::T ? L3::F : L3::T;
+  if (a == kX) return kX;
+  return a == kT ? kF : kT;
 }
 
 L3 l3_and(L3 a, L3 b) {
-  if (a == L3::F || b == L3::F) return L3::F;
-  if (a == L3::X || b == L3::X) return L3::X;
-  return L3::T;
+  if (a == kF || b == kF) return kF;
+  if (a == kX || b == kX) return kX;
+  return kT;
 }
 
 L3 l3_or(L3 a, L3 b) {
-  if (a == L3::T || b == L3::T) return L3::T;
-  if (a == L3::X || b == L3::X) return L3::X;
-  return L3::F;
+  if (a == kT || b == kT) return kT;
+  if (a == kX || b == kX) return kX;
+  return kF;
 }
 
 L3 l3_xor(L3 a, L3 b) {
-  if (a == L3::X || b == L3::X) return L3::X;
-  return a == b ? L3::F : L3::T;
+  if (a == kX || b == kX) return kX;
+  return a == b ? kF : kT;
 }
 
 L3 eval3(const Node& n, const std::vector<L3>& v) {
   switch (n.type) {
-    case GateType::Const0: return L3::F;
-    case GateType::Const1: return L3::T;
+    case GateType::Const0: return kF;
+    case GateType::Const1: return kT;
     case GateType::Buf: return v[n.fanin[0]];
     case GateType::Not: return l3_not(v[n.fanin[0]]);
     case GateType::And:
     case GateType::Nand: {
-      L3 acc = L3::T;
+      L3 acc = kT;
       for (NodeId f : n.fanin) acc = l3_and(acc, v[f]);
       return n.type == GateType::Nand ? l3_not(acc) : acc;
     }
     case GateType::Or:
     case GateType::Nor: {
-      L3 acc = L3::F;
+      L3 acc = kF;
       for (NodeId f : n.fanin) acc = l3_or(acc, v[f]);
       return n.type == GateType::Nor ? l3_not(acc) : acc;
     }
     case GateType::Xor:
     case GateType::Xnor: {
-      L3 acc = L3::F;
+      L3 acc = kF;
       for (NodeId f : n.fanin) acc = l3_xor(acc, v[f]);
       return n.type == GateType::Xnor ? l3_not(acc) : acc;
     }
@@ -58,16 +60,16 @@ L3 eval3(const Node& n, const std::vector<L3>& v) {
       const L3 s = v[n.fanin[0]];
       const L3 a = v[n.fanin[1]];
       const L3 b = v[n.fanin[2]];
-      if (s == L3::F) return a;
-      if (s == L3::T) return b;
-      if (a == b && a != L3::X) return a;  // select is X but branches agree
-      return L3::X;
+      if (s == kF) return a;
+      if (s == kT) return b;
+      if (a == b && a != kX) return a;  // select is X but branches agree
+      return kX;
     }
     case GateType::Input:
     case GateType::Dff:
-      return L3::X;  // handled by caller
+      return kX;  // handled by caller
   }
-  return L3::X;
+  return kX;
 }
 
 /// Non-controlling value heuristic for propagating through a gate.
@@ -90,50 +92,79 @@ bool inverts(GateType t) {
          t == GateType::Xnor;
 }
 
-struct Machine {
-  std::vector<L3> good;
-  std::vector<L3> faulty;
-};
-
 }  // namespace
 
-PodemResult podem(const Netlist& nl, const Fault& fault,
-                  const PodemOptions& opt) {
-  const std::vector<NodeId> order = nl.topo_order();
+PodemEngine::PodemEngine(const Netlist& nl)
+    : nl_(&nl),
+      order_(nl.topo_order()),
+      rank_(nl.raw_size(), 0),
+      good_(nl.raw_size(), kX),
+      faulty_(nl.raw_size(), kX),
+      pi_assign_(nl.raw_size(), -1) {
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    rank_[order_[i]] = static_cast<std::uint32_t>(i);
+  }
+  worklist_.resize(nl.raw_size());
+}
+
+PodemResult PodemEngine::run(const Fault& fault, const PodemOptions& opt) {
+  const Netlist& nl = *nl_;
   const auto& pis = nl.inputs();
-  std::vector<int> pi_assign(nl.raw_size(), -1);  // -1 = X, else 0/1
+  std::fill(pi_assign_.begin(), pi_assign_.end(), -1);
 
-  Machine m;
-  m.good.assign(nl.raw_size(), L3::X);
-  m.faulty.assign(nl.raw_size(), L3::X);
-
-  const L3 stuck = fault.value == StuckAt::One ? L3::T : L3::F;
+  const L3 stuck = fault.value == StuckAt::One ? kT : kF;
   const L3 activate = l3_not(stuck);
 
-  auto imply = [&] {
-    for (NodeId id : order) {
+  // Full implication pass: establishes tie-cell values and the fault site,
+  // equivalent to the classic imply() with every PI at X.
+  for (NodeId id : order_) {
+    const Node& n = nl.node(id);
+    L3 g, f;
+    if (n.type == GateType::Input || n.type == GateType::Dff) {
+      g = kX;
+      f = kX;
+    } else {
+      g = eval3(n, good_);
+      f = eval3(n, faulty_);
+    }
+    if (id == fault.node) f = stuck;
+    good_[id] = g;
+    faulty_[id] = f;
+  }
+
+  // Event-driven implication from a set of changed PIs. The machine state is
+  // a pure function of (pi_assign, fault), so re-evaluating exactly the
+  // nodes whose fanin changed reproduces the full pass bit for bit.
+  const auto imply_from = [&](std::span<const NodeId> seeds) {
+    for (NodeId s : seeds) worklist_.push(s);
+    while (!worklist_.empty()) {
+      const NodeId id = worklist_.pop();
       const Node& n = nl.node(id);
       L3 g, f;
       if (n.type == GateType::Input) {
-        g = pi_assign[id] < 0 ? L3::X : (pi_assign[id] ? L3::T : L3::F);
+        g = pi_assign_[id] < 0 ? kX : (pi_assign_[id] ? kT : kF);
         f = g;
       } else if (n.type == GateType::Dff) {
-        g = L3::X;
-        f = L3::X;
+        g = kX;
+        f = kX;
       } else {
-        g = eval3(n, m.good);
-        f = eval3(n, m.faulty);
+        g = eval3(n, good_);
+        f = eval3(n, faulty_);
       }
       if (id == fault.node) f = stuck;
-      m.good[id] = g;
-      m.faulty[id] = f;
+      if (g == good_[id] && f == faulty_[id]) continue;
+      good_[id] = g;
+      faulty_[id] = f;
+      for (NodeId reader : n.fanout) {
+        if (nl.node(reader).type == GateType::Dff) continue;
+        worklist_.push(reader);
+      }
     }
   };
 
   auto error_at_po = [&] {
     for (NodeId po : nl.outputs()) {
-      if (m.good[po] != L3::X && m.faulty[po] != L3::X &&
-          m.good[po] != m.faulty[po]) {
+      if (good_[po] != kX && faulty_[po] != kX && good_[po] != faulty_[po]) {
         return true;
       }
     }
@@ -143,13 +174,12 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
   // D-frontier: gates with undetermined output and at least one input where
   // the machines disagree with both values known.
   auto d_frontier_gate = [&]() -> NodeId {
-    for (NodeId id : order) {
+    for (NodeId id : order_) {
       const Node& n = nl.node(id);
       if (!is_combinational(n.type)) continue;
-      if (m.good[id] != L3::X && m.faulty[id] != L3::X) continue;
+      if (good_[id] != kX && faulty_[id] != kX) continue;
       for (NodeId fi : n.fanin) {
-        if (m.good[fi] != L3::X && m.faulty[fi] != L3::X &&
-            m.good[fi] != m.faulty[fi]) {
+        if (good_[fi] != kX && faulty_[fi] != kX && good_[fi] != faulty_[fi]) {
           return id;
         }
       }
@@ -160,15 +190,15 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
   // Objective selection. Returns nullopt when no useful objective exists
   // (dead end -> backtrack).
   auto objective = [&]() -> std::optional<std::pair<NodeId, bool>> {
-    if (m.good[fault.node] == L3::X) {
-      return std::make_pair(fault.node, activate == L3::T);
+    if (good_[fault.node] == kX) {
+      return std::make_pair(fault.node, activate == kT);
     }
-    if (m.good[fault.node] != activate) return std::nullopt;  // de-activated
+    if (good_[fault.node] != activate) return std::nullopt;  // de-activated
     const NodeId g = d_frontier_gate();
     if (g == kNoNode) return std::nullopt;
     const Node& n = nl.node(g);
     for (NodeId fi : n.fanin) {
-      if (m.good[fi] == L3::X || m.faulty[fi] == L3::X) {
+      if (good_[fi] == kX || faulty_[fi] == kX) {
         return std::make_pair(fi, noncontrolling(n.type));
       }
     }
@@ -183,7 +213,7 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
       if (inverts(n.type)) val = !val;
       NodeId next = kNoNode;
       for (NodeId fi : n.fanin) {
-        if (m.good[fi] == L3::X) { next = fi; break; }
+        if (good_[fi] == kX) { next = fi; break; }
       }
       if (next == kNoNode) next = n.fanin[0];
       node = next;
@@ -197,17 +227,17 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
     bool tried_both;
   };
   std::vector<Decision> decisions;
+  std::vector<NodeId> seeds;
   PodemResult result;
 
-  imply();
   while (true) {
     if (error_at_po()) {
       result.status = PodemStatus::Detected;
       result.pattern.resize(pis.size());
       result.assigned.resize(pis.size());
       for (std::size_t i = 0; i < pis.size(); ++i) {
-        result.pattern[i] = pi_assign[pis[i]] == 1;
-        result.assigned[i] = pi_assign[pis[i]] >= 0 ? 1 : 0;
+        result.pattern[i] = pi_assign_[pis[i]] == 1;
+        result.assigned[i] = pi_assign_[pis[i]] >= 0 ? 1 : 0;
       }
       return result;
     }
@@ -215,29 +245,33 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
     bool need_backtrack = !obj.has_value();
     if (!need_backtrack) {
       const auto [pi, val] = backtrace(obj->first, obj->second);
-      if (nl.node(pi).type != GateType::Input || pi_assign[pi] >= 0) {
+      if (nl.node(pi).type != GateType::Input || pi_assign_[pi] >= 0) {
         // Backtrace hit a tie cell or an already-assigned PI: dead end.
         need_backtrack = true;
       } else {
         decisions.push_back({pi, val, false});
-        pi_assign[pi] = val ? 1 : 0;
-        imply();
+        pi_assign_[pi] = val ? 1 : 0;
+        seeds.assign(1, pi);
+        imply_from(seeds);
         continue;
       }
     }
     // Backtrack.
     bool flipped = false;
+    seeds.clear();
     while (!decisions.empty()) {
       Decision& d = decisions.back();
       if (!d.tried_both) {
         d.tried_both = true;
         d.value = !d.value;
-        pi_assign[d.pi] = d.value ? 1 : 0;
+        pi_assign_[d.pi] = d.value ? 1 : 0;
+        seeds.push_back(d.pi);
         ++result.backtracks;
         flipped = true;
         break;
       }
-      pi_assign[d.pi] = -1;
+      pi_assign_[d.pi] = -1;
+      seeds.push_back(d.pi);
       decisions.pop_back();
     }
     if (!flipped) {
@@ -248,8 +282,13 @@ PodemResult podem(const Netlist& nl, const Fault& fault,
       result.status = PodemStatus::Aborted;
       return result;
     }
-    imply();
+    imply_from(seeds);
   }
+}
+
+PodemResult podem(const Netlist& nl, const Fault& fault,
+                  const PodemOptions& opt) {
+  return PodemEngine(nl).run(fault, opt);
 }
 
 }  // namespace tz

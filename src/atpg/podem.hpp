@@ -12,6 +12,7 @@
 
 #include "atpg/fault.hpp"
 #include "sim/patterns.hpp"
+#include "sim/rank_worklist.hpp"
 
 namespace tz {
 
@@ -32,7 +33,31 @@ struct PodemResult {
   int backtracks = 0;
 };
 
+/// Reusable PODEM engine: binds a netlist once (topological order, ranks,
+/// three-valued machine scratch) and serves one fault per run() call. The
+/// forward implication is event-driven — after a PI decision only the PI's
+/// fanout cone is re-evaluated, against full-netlist passes in the classic
+/// formulation — but the search (objective, backtrace, backtracking) is
+/// unchanged, so run() returns exactly what the free podem() always has.
+/// ATPG loops that target many faults on one netlist should hold one engine.
+class PodemEngine {
+ public:
+  /// The netlist must outlive the engine and stay structurally unchanged.
+  explicit PodemEngine(const Netlist& nl);
+
+  PodemResult run(const Fault& fault, const PodemOptions& opt = {});
+
+ private:
+  const Netlist* nl_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint32_t> rank_;
+  std::vector<std::uint8_t> good_, faulty_;  // three-valued: 0, 1, 2 = X
+  std::vector<int> pi_assign_;               // -1 = X, else 0/1
+  RankWorklist worklist_{rank_};
+};
+
 /// Generate a test for one stuck-at fault on a combinational netlist.
+/// One-shot wrapper over PodemEngine.
 PodemResult podem(const Netlist& nl, const Fault& fault,
                   const PodemOptions& opt = {});
 

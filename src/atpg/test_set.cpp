@@ -42,11 +42,13 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
   for (const auto d : detected) covered += d ? 1 : 0;
 
   // Phase 2: PODEM on survivors, dropping newly covered faults as we go and
-  // stopping at the defender's coverage target. One engine carries the
-  // static netlist analyses across candidate patterns, and drop_sim only
-  // re-simulates still-undetected faults — incremental work per pattern
-  // instead of a full fault-universe sweep.
+  // stopping at the defender's coverage target. One fault-sim engine carries
+  // the static netlist analyses across candidate patterns (drop_sim only
+  // re-simulates still-undetected faults), and one PODEM engine reuses the
+  // topological order and implication scratch across target faults —
+  // incremental work per pattern instead of a full fault-universe sweep.
   FaultSimEngine engine(nl);
+  PodemEngine podem_engine(nl);
   std::vector<std::size_t> order(faults.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   if (opt.fault_order == TestGenOptions::FaultOrder::Shuffled) {
@@ -76,7 +78,7 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
     if (patterns.num_patterns() >= opt.max_patterns) {
       break;  // tester-time budget exhausted
     }
-    const PodemResult r = podem(nl, faults[i], opt.podem);
+    const PodemResult r = podem_engine.run(faults[i], opt.podem);
     if (r.status == PodemStatus::Untestable) {
       ++ts.untestable;
       continue;

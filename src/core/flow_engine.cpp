@@ -1,0 +1,537 @@
+#include "core/flow_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "core/ht_library.hpp"
+#include "prob/signal_prob.hpp"
+#include "sim/gate_eval.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+
+// --------------------------------------------------------------- SuiteOracle
+
+SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
+    : nl_(&nl), suite_(&suite) {
+  sequential_ = !nl.dffs().empty();
+  for (const DefenderTestSet& ts : suite.algorithms) {
+    // A suite generated for a different interface can never pass; keep the
+    // reference semantics by falling back to functional_test.
+    if (ts.patterns.num_signals() != nl.inputs().size() ||
+        ts.golden.num_signals() != nl.outputs().size()) {
+      sequential_ = true;
+    }
+  }
+  if (sequential_) return;
+
+  cap_ = nl.raw_size();
+  rank_.assign(cap_, 0);
+  BitSimulator sim(nl);
+  const std::vector<NodeId>& order = sim.order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank_[order[i]] = static_cast<std::uint32_t>(i);
+  }
+  recorded_po_ = nl.outputs();
+  sets_.reserve(suite.algorithms.size());
+  for (const DefenderTestSet& ts : suite.algorithms) {
+    SetCache sc;
+    sc.words = ts.patterns.num_words();
+    sc.patterns = ts.patterns.num_patterns();
+    sc.tail = ts.patterns.tail_mask();
+    stride_ = std::max(stride_, sc.words);
+    if (sc.patterns > 0) {
+      const NodeValues vals = sim.run(ts.patterns);
+      sc.rows.assign(cap_ * sc.words, 0);
+      for (NodeId id = 0; id < cap_; ++id) {
+        if (!nl.is_alive(id)) continue;
+        const std::uint64_t* src = vals.row(id);
+        std::copy(src, src + sc.words, sc.rows.data() + id * sc.words);
+      }
+      sc.golden.assign(recorded_po_.size() * sc.words, 0);
+      for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
+        const auto g = ts.golden.words(o);
+        std::copy(g.begin(), g.end(), sc.golden.data() + o * sc.words);
+      }
+    }
+    sets_.push_back(std::move(sc));
+  }
+  scratch_.assign(cap_ * stride_, 0);
+  touched_.assign(cap_, 0);
+  worklist_.resize(cap_);
+}
+
+void SuiteOracle::grow() {
+  const std::size_t n = nl_->raw_size();
+  if (n <= cap_) return;
+  for (SetCache& sc : sets_) {
+    if (sc.patterns == 0) continue;
+    sc.rows.resize(n * sc.words, 0);
+    for (NodeId id = static_cast<NodeId>(cap_); id < n; ++id) {
+      // Tie cells are the only new nodes oracle queries ever read (HT and
+      // dummy gates are judged before materialisation / have no readers).
+      if (nl_->is_alive(id) && nl_->node(id).type == GateType::Const1) {
+        std::fill_n(sc.rows.data() + static_cast<std::size_t>(id) * sc.words,
+                    sc.words, ~std::uint64_t{0});
+      }
+    }
+  }
+  rank_.resize(n, 0);  // new nodes are sources here; never scheduled
+  scratch_.resize(n * stride_, 0);
+  touched_.resize(n, 0);
+  worklist_.resize(n);
+  cap_ = n;
+}
+
+void SuiteOracle::schedule(NodeId id) {
+  if (!nl_->is_alive(id)) return;
+  const GateType t = nl_->node(id).type;
+  if (t == GateType::Dff || t == GateType::Input) return;
+  worklist_.push(id);
+}
+
+bool SuiteOracle::run_cone(SetCache& sc, bool fold) {
+  const auto get = [&](NodeId f) -> const std::uint64_t* {
+    return touched_[f] ? scratch_row(f) : cached_row(sc, f);
+  };
+  // The worklist pops in topological order, so every touched fanin is final
+  // by the time a gate evaluates; a gate whose row matches the cache on all
+  // valid lanes generates no further events.
+  while (!worklist_.empty()) {
+    const NodeId id = worklist_.pop();
+    std::uint64_t* out = scratch_row(id);
+    eval_gate_row(nl_->node(id), sc.words, get, out);
+    const std::uint64_t* cr = cached_row(sc, id);
+    std::uint64_t changed = 0;
+    for (std::size_t w = 0; w < sc.words; ++w) {
+      std::uint64_t diff = out[w] ^ cr[w];
+      if (w + 1 == sc.words) diff &= sc.tail;
+      changed |= diff;
+    }
+    if (!changed) continue;
+    touched_[id] = 1;
+    visited_.push_back(id);
+    for (NodeId r : nl_->node(id).fanout) schedule(r);
+  }
+
+  bool any = false;
+  for (std::size_t o = 0; o < recorded_po_.size() && !any; ++o) {
+    const NodeId cur = nl_->outputs()[o];
+    if (!touched_[cur] && cur == recorded_po_[o]) continue;
+    const std::uint64_t* got =
+        touched_[cur] ? scratch_row(cur) : cached_row(sc, cur);
+    const std::uint64_t* want =
+        sc.golden.data() + o * sc.words;
+    for (std::size_t w = 0; w < sc.words; ++w) {
+      std::uint64_t diff = got[w] ^ want[w];
+      if (w + 1 == sc.words) diff &= sc.tail;
+      if (diff) {
+        any = true;
+        break;
+      }
+    }
+  }
+  if (fold && !any) {
+    for (NodeId id : visited_) {
+      std::copy(scratch_row(id), scratch_row(id) + sc.words,
+                sc.rows.data() + static_cast<std::size_t>(id) * sc.words);
+    }
+  }
+  for (NodeId id : visited_) touched_[id] = 0;
+  visited_.clear();
+  return any;
+}
+
+bool SuiteOracle::check_tie(NodeId target, bool value, bool fold) {
+  grow();
+  const std::uint64_t cval = value ? ~std::uint64_t{0} : 0;
+  for (SetCache& sc : sets_) {
+    if (sc.patterns == 0) continue;
+    // Excitation fast path: the tied node already evaluated to the constant
+    // on every pattern of this set — nothing downstream can change.
+    {
+      const std::uint64_t* tr = cached_row(sc, target);
+      std::uint64_t diff = 0;
+      for (std::size_t w = 0; w < sc.words; ++w) {
+        std::uint64_t d = tr[w] ^ cval;
+        if (w + 1 == sc.words) d &= sc.tail;
+        diff |= d;
+      }
+      if (!diff) continue;
+    }
+    // Force the constant at the target and re-evaluate its readers: exactly
+    // the function the netlist computes once the tie is applied.
+    std::uint64_t* fr = scratch_row(target);
+    std::fill_n(fr, sc.words, cval);
+    touched_[target] = 1;
+    visited_.push_back(target);
+    for (NodeId r : nl_->node(target).fanout) schedule(r);
+    if (run_cone(sc, fold)) return true;
+  }
+  return false;
+}
+
+bool SuiteOracle::tie_visible(NodeId target, bool value) {
+  return check_tie(target, value, /*fold=*/false);
+}
+
+void SuiteOracle::commit_tie(NodeId target, bool value) {
+  check_tie(target, value, /*fold=*/true);
+}
+
+void SuiteOracle::resync_structure() {
+  if (sequential_) return;
+  grow();
+  recorded_po_ = nl_->outputs();
+}
+
+bool SuiteOracle::ht_visible(std::span<const NodeId> trigger_nets,
+                             int counter_bits, NodeId victim) {
+  grow();
+  for (SetCache& sc : sets_) {
+    if (sc.patterns == 0) continue;
+    // Trigger condition per pattern: AND over the tapped rare nets.
+    trig_.assign(sc.words, ~std::uint64_t{0});
+    for (NodeId r : trigger_nets) {
+      const std::uint64_t* row = cached_row(sc, r);
+      for (std::size_t w = 0; w < sc.words; ++w) trig_[w] &= row[w];
+    }
+    trig_[sc.words - 1] &= sc.tail;
+    // Payload-enable per pattern. A comparator HT fires with the trigger; a
+    // counter HT is replayed cycle by cycle from reset, exactly as the
+    // defender's tester streams the patterns (functional_test's
+    // CycleSimulator semantics: S' = S + trigger, fire when saturated).
+    if (counter_bits == 0) {
+      fire_ = trig_;
+    } else {
+      fire_.assign(sc.words, 0);
+      unsigned state = 0;
+      const unsigned full = (1u << counter_bits) - 1;
+      for (std::size_t p = 0; p < sc.patterns; ++p) {
+        if (state == full) fire_[p >> 6] |= std::uint64_t{1} << (p & 63);
+        if ((trig_[p >> 6] >> (p & 63)) & 1) state = (state + 1) & full;
+      }
+    }
+    std::uint64_t any_fire = 0;
+    for (std::uint64_t w : fire_) any_fire |= w;
+    if (!any_fire) continue;  // dormant throughout the stream: undetectable
+    // The payload MUX rewires the victim's readers to v XOR fire; propagate
+    // the masked deviation through the victim's fanout cone.
+    std::uint64_t* fr = scratch_row(victim);
+    const std::uint64_t* vr = cached_row(sc, victim);
+    for (std::size_t w = 0; w < sc.words; ++w) fr[w] = vr[w] ^ fire_[w];
+    touched_[victim] = 1;
+    visited_.push_back(victim);
+    for (NodeId r : nl_->node(victim).fanout) schedule(r);
+    if (run_cone(sc, /*fold=*/false)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------- FlowEngine
+
+SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
+  SalvageResult result;
+  result.power_before = pm_->analyze(*original_).totals;
+
+  Netlist work = original_->compact();
+  const SignalProb sp(work);
+  std::vector<Candidate> cands =
+      find_candidates(work, sp, opt.pth, opt.include_outputs);
+  result.candidates = cands.size();
+
+  if (opt.order == SalvageOptions::Order::ByLeakage) {
+    const CellLibrary& lib = pm_->library();
+    std::stable_sort(cands.begin(), cands.end(),
+                     [&](const Candidate& a, const Candidate& b) {
+                       return lib.leakage_nw(work.node(a.node)) >
+                              lib.leakage_nw(work.node(b.node));
+                     });
+  }
+
+  SuiteOracle oracle(work, *suite_);
+  for (const Candidate& c : cands) {
+    if (!work.is_alive(c.node)) continue;  // removed with an earlier cone
+    const std::string name = work.node(c.node).name;
+    if (oracle.sequential()) {
+      // Sequential fallback: apply, stream the full suite, revert through
+      // the tie's undo log (Algorithm 1 line 20) when caught.
+      TieUndo undo;
+      const TieResult tie = tie_to_constant(work, c.node, c.tie_value, &undo);
+      if (functional_test(work, *suite_)) {
+        result.accepted.push_back(
+            {name, c.tie_value, c.probability, tie.gates_removed});
+        result.expendable_gates += tie.gates_removed;
+      } else {
+        undo_tie(work, undo);
+        ++result.rejected;
+      }
+      continue;
+    }
+    // Oracle path: judge the candidate on the cached rows before touching
+    // the netlist — a rejected tie costs one fanout-cone re-simulation and
+    // leaves no structural trace at all.
+    if (oracle.tie_visible(c.node, c.tie_value)) {
+      ++result.rejected;
+      continue;
+    }
+    oracle.commit_tie(c.node, c.tie_value);
+    const TieResult tie = tie_to_constant(work, c.node, c.tie_value);
+    oracle.resync_structure();
+    result.accepted.push_back(
+        {name, c.tie_value, c.probability, tie.gates_removed});
+    result.expendable_gates += tie.gates_removed;
+  }
+
+  work = work.compact();
+  result.power_after = pm_->analyze(work).totals;
+  result.modified = std::move(work);
+  return result;
+}
+
+namespace {
+
+/// Tombstone every node added since `size_before` whose output is unread,
+/// repeating until the range is clear (reverse id order resolves most
+/// chains in one pass). The shared rollback primitive for rejected HT
+/// materialisations and rejected dummy-gate trials.
+void remove_added_range(Netlist& nl, std::size_t size_before) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId id = static_cast<NodeId>(nl.raw_size());
+         id-- > size_before;) {
+      if (nl.is_alive(id) && nl.node(id).fanout.empty() &&
+          !nl.is_output(id)) {
+        nl.remove_node(id);
+        changed = true;
+      }
+    }
+  }
+}
+
+/// Roll back a materialised (possibly half-built) build_trojan: repoint the
+/// victim's readers from the payload MUX back to the victim, break the
+/// counter's q<->d cycles and tombstone every node the build created
+/// (ids >= `size_before`). Safe to call after build_trojan threw mid-way —
+/// every step degrades to a no-op on structure the build never reached.
+void unbuild_trojan(Netlist& nl, NodeId victim,
+                    std::span<const NodeId> readers, std::size_t size_before) {
+  for (NodeId r : readers) {
+    const auto& fi = nl.node(r).fanin;
+    for (std::size_t slot = 0; slot < fi.size(); ++slot) {
+      if (fi[slot] >= size_before) nl.relink_fanin(r, slot, victim);
+    }
+  }
+  for (NodeId id = static_cast<NodeId>(size_before); id < nl.raw_size();
+       ++id) {
+    if (nl.is_alive(id) && nl.node(id).type == GateType::Dff) {
+      nl.relink_fanin(id, 0, victim);  // break q <-> d for removal ordering
+    }
+  }
+  remove_added_range(nl, size_before);
+}
+
+bool caps_ok(const PowerReport& p, const PowerReport& threshold) {
+  // The TrojanZero contract, enforced strictly: N'' may not exceed the
+  // HT-free circuit on any observable — total, dynamic or leakage power, or
+  // area. (These are precisely the features detect/'s defenders measure.)
+  return p.total_uw() <= threshold.total_uw() &&
+         p.dynamic_uw <= threshold.dynamic_uw &&
+         p.leakage_uw <= threshold.leakage_uw && p.area_ge <= threshold.area_ge;
+}
+
+}  // namespace
+
+std::size_t balance_with_dummies(Netlist& nl, PowerTracker& tracker,
+                                 const PowerReport& threshold,
+                                 const InsertionOptions& opt) {
+  std::size_t added = 0;
+  if (nl.inputs().empty()) return 0;
+  struct MenuItem {
+    GateType type;
+    bool tie_fed;
+  };
+  // Two flavours, two deficits. Leakage is a component of total power, so
+  // the deficits decompose: `dl` is leakage-shaped (fill with tie-fed
+  // gates, which burn no dynamic power) and `dp - dl` is dynamic-shaped
+  // (fill with PI-fed gates, which burn little leakage headroom per
+  // microwatt). Picking the flavour by the dominant deficit avoids
+  // saturating one cap while the other still has a visible gap — which is
+  // what a two-feature detector like [12] would catch.
+  static constexpr MenuItem kDynamicMenu[] = {
+      {GateType::Buf, false}, {GateType::Xor, false}, {GateType::Not, false},
+      {GateType::Xor, true},  {GateType::Nand, true}, {GateType::Not, true},
+  };
+  static constexpr MenuItem kLeakageMenu[] = {
+      {GateType::Xor, true},  {GateType::Nand, true}, {GateType::Not, true},
+      {GateType::Buf, false}, {GateType::Xor, false}, {GateType::Not, false},
+  };
+  std::vector<NodeId> fresh;
+  while (added < opt.max_dummy_gates) {
+    const PowerReport now = tracker.totals();
+    const double dp = threshold.total_uw() - now.total_uw();
+    const double dl = threshold.leakage_uw - now.leakage_uw;
+    const double da = threshold.area_ge - now.area_ge;
+    const bool power_ok = dp <= opt.power_slack_rel * threshold.total_uw();
+    const bool leak_ok = dl <= opt.power_slack_rel * threshold.leakage_uw;
+    const bool area_ok = da <= opt.area_slack_rel * threshold.area_ge;
+    if (power_ok && leak_ok && area_ok) break;
+    const bool want_dynamic =
+        (dp - dl) > 0.5 * opt.power_slack_rel * threshold.total_uw();
+    const auto& menu = want_dynamic ? kDynamicMenu : kLeakageMenu;
+    bool placed = false;
+    for (const MenuItem& item : menu) {
+      const std::size_t size_before = nl.raw_size();
+      tracker.begin();
+      const NodeId src = item.tie_fed
+                             ? nl.const_node(false)
+                             : nl.inputs()[added % nl.inputs().size()];
+      add_dummy_gate(nl, src, item.type, "tz_dummy");
+      fresh.clear();
+      for (NodeId id = static_cast<NodeId>(size_before); id < nl.raw_size();
+           ++id) {
+        fresh.push_back(id);  // the dummy, plus the tie cell if just created
+      }
+      tracker.resync(fresh, {{src}});
+      if (caps_ok(tracker.totals(), threshold)) {
+        tracker.commit();
+        placed = true;
+        break;
+      }
+      tracker.rollback();
+      remove_added_range(nl, size_before);
+    }
+    if (!placed) break;  // every gate overshoots: differential already tiny
+    ++added;
+  }
+  return added;
+}
+
+InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
+                                   const InsertionOptions& opt) {
+  InsertionResult result;
+  result.threshold = pm_->analyze(*original_).totals;
+
+  std::vector<TrojanDesc> library =
+      opt.library.empty() ? default_ht_library() : opt.library;
+
+  // One work netlist for the whole phase: rejected candidates roll back
+  // through the added-node range instead of starting from a fresh copy.
+  Netlist work = salvaged.modified;
+  const SignalProb sp(work);
+  const std::vector<NodeId> locations =
+      payload_locations(work, opt.max_locations);
+  const std::vector<NodeId> rare = rare_net_list(work, sp, opt.rare_p1);
+  SuiteOracle oracle(work, *suite_);
+  PowerTracker tracker(work, *pm_);
+
+  // Rare-net pool per victim: the once-per-netlist rare list filtered by the
+  // victim's transitive-fanout mask (loop freedom). Computed lazily, once —
+  // the pool only depends on the victim, not on which HT is being tried, and
+  // rejected materialisations restore the structure the mask was built from.
+  std::vector<std::vector<NodeId>> pools(locations.size());
+  std::vector<char> pool_built(locations.size(), 0);
+  const auto pool_for = [&](std::size_t v) -> const std::vector<NodeId>& {
+    if (!pool_built[v]) {
+      const std::vector<char> down = downstream_mask(work, locations[v]);
+      for (NodeId id : rare) {
+        if (!down[id]) pools[v].push_back(id);
+      }
+      pool_built[v] = 1;
+    }
+    return pools[v];
+  };
+
+  std::vector<NodeId> fresh;
+  for (const TrojanDesc& desc : library) {
+    ++result.tried_hts;
+    for (std::size_t v = 0; v < locations.size(); ++v) {
+      const NodeId victim = locations[v];
+      ++result.tried_locations;
+      const std::vector<NodeId>& pool = pool_for(v);
+      if (pool.size() < static_cast<std::size_t>(desc.trigger_width)) {
+        ++result.fail_build;
+        continue;
+      }
+
+      // Defender validation (Algorithm 2 lines 3-7) — before materialising
+      // when the oracle applies.
+      if (!oracle.sequential() &&
+          oracle.ht_visible(
+              std::span<const NodeId>(pool.data(),
+                                      static_cast<std::size_t>(
+                                          desc.trigger_width)),
+              desc.counter_bits, victim)) {
+        ++result.fail_test;
+        continue;
+      }
+
+      const std::size_t size_before = work.raw_size();
+      const std::vector<NodeId> readers = work.node(victim).fanout;
+      InsertedHT ht;
+      try {
+        ht = build_trojan(work, desc, pool, victim);
+      } catch (const std::exception&) {
+        ++result.fail_build;
+        // A throw can land after gates were added (work is shared across
+        // candidates, unlike the old fresh-copy-per-trial): sweep the
+        // half-built structure back out.
+        unbuild_trojan(work, victim, readers, size_before);
+        continue;  // structural rejection (loop, arity, ...)
+      }
+      if (oracle.sequential() && !functional_test(work, *suite_)) {
+        ++result.fail_test;
+        unbuild_trojan(work, victim, readers, size_before);
+        continue;
+      }
+
+      // Power/area caps (lines 11-13) on tracker deltas instead of a
+      // from-scratch analyze.
+      tracker.begin();
+      fresh.clear();
+      for (NodeId id = static_cast<NodeId>(size_before); id < work.raw_size();
+           ++id) {
+        fresh.push_back(id);
+      }
+      std::vector<NodeId> cap_changed(
+          pool.begin(), pool.begin() + desc.trigger_width);
+      cap_changed.push_back(victim);
+      tracker.resync(fresh, cap_changed);
+      if (!caps_ok(tracker.totals(), result.threshold)) {
+        ++result.fail_caps;
+        tracker.rollback();
+        unbuild_trojan(work, victim, readers, size_before);
+        continue;  // this HT at this location breaks a cap -> next location
+      }
+      tracker.commit();
+      const std::size_t dummies =
+          balance_with_dummies(work, tracker, result.threshold, opt);
+
+      result.success = true;
+      result.ht = ht;
+      result.ht_desc = desc;
+      result.ht_name = desc.name;
+      result.victim_name = work.node(victim).name;
+      result.dummy_gates = dummies;
+      // One full analysis for the report keeps the published numbers
+      // bit-identical with PowerModel::analyze of the final netlist.
+      result.power = pm_->analyze(work).totals;
+      result.infected = std::move(work);
+      {
+        // Analytic per-cycle trigger probability: product over trigger nets.
+        double q = 1.0;
+        int used = 0;
+        for (NodeId r : pool) {
+          if (used++ >= desc.trigger_width) break;
+          q *= sp.p1(r);
+        }
+        result.trigger_p1 = q;
+      }
+      return result;
+    }
+  }
+  return result;  // success = false
+}
+
+}  // namespace tz

@@ -1,0 +1,147 @@
+// Incremental engine behind Algorithm 1 (salvage) and Algorithm 2 (insertion).
+//
+// The naive flow re-simulates the defender's entire suite and re-runs a full
+// power analysis for every candidate edit — O(candidates × netlist). The
+// FlowEngine replaces both hot paths with incremental machinery:
+//
+//  - SuiteOracle caches the per-test-set good-value rows of the current work
+//    netlist and re-simulates only the structural fanout cone of an edit
+//    (event-driven over a topological-rank worklist, reusing the
+//    sim/gate_eval.hpp kernels), comparing just the cone-reachable outputs
+//    against the cached golden responses. A tie candidate costs O(cone); an
+//    HT candidate is judged *before* it is materialised by replaying its
+//    trigger/counter against the cached rows of the rare nets it would tap.
+//
+//  - PowerTracker (tech/power_tracker.hpp) keeps per-node power/area rows
+//    and applies add-gate / remove-gate / splice deltas, so the Algorithm 2
+//    cap checks and the dummy-balancing loop stop re-running
+//    analyze→SignalProb from scratch.
+//
+//  - Rejected edits roll back through undo logs (TieUndo for Algorithm 1,
+//    the added-node range for Algorithm 2) instead of netlist snapshots.
+//
+// Results are semantically identical to the reference implementations: the
+// same candidates are accepted, the same HT/victim/dummy choices are made
+// and the reported power totals match a from-scratch analysis.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "atpg/test_set.hpp"
+#include "core/insertion.hpp"
+#include "core/salvage.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/rewrite.hpp"
+#include "sim/rank_worklist.hpp"
+#include "tech/power_model.hpp"
+#include "tech/power_tracker.hpp"
+
+namespace tz {
+
+/// Cached-row defender oracle over one work netlist. The netlist must stay
+/// owned by the caller; structural edits are reported through the tie/commit
+/// API. Only combinational netlists are cached — construction on a netlist
+/// with DFFs sets sequential() and the caller falls back to functional_test.
+class SuiteOracle {
+ public:
+  SuiteOracle(const Netlist& nl, const DefenderSuite& suite);
+
+  bool sequential() const { return sequential_; }
+
+  /// Would tying `target` to constant `value` change any defender response?
+  /// Judged BEFORE the structural rewrite by forcing the constant at the
+  /// target and propagating through its fanout cone — a rejected candidate
+  /// never touches the netlist at all.
+  bool tie_visible(NodeId target, bool value);
+
+  /// Fold an accepted (invisible) tie into the cached rows. Call before the
+  /// structural tie_to_constant, then resync_structure() after it.
+  void commit_tie(NodeId target, bool value);
+
+  /// Refresh structural bookkeeping (node capacity, output drivers) after
+  /// the caller mutated the netlist with a committed edit.
+  void resync_structure();
+
+  /// Would inserting this HT be caught by the suite? Judged before the HT is
+  /// materialised: the trigger AND and counter are replayed against the
+  /// cached rows of `trigger_nets`, and when the payload could fire during a
+  /// pattern stream, the masked deviation is propagated through the victim's
+  /// fanout cone. Exactly equivalent to streaming the infected netlist
+  /// through functional_test.
+  bool ht_visible(std::span<const NodeId> trigger_nets, int counter_bits,
+                  NodeId victim);
+
+ private:
+  struct SetCache {
+    std::size_t words = 0;
+    std::size_t patterns = 0;
+    std::uint64_t tail = ~std::uint64_t{0};
+    std::vector<std::uint64_t> rows;    ///< node-major cache, stride = words
+    std::vector<std::uint64_t> golden;  ///< output-major expected rows
+  };
+
+  void grow();
+  std::uint64_t* scratch_row(NodeId id) {
+    return scratch_.data() + static_cast<std::size_t>(id) * stride_;
+  }
+  const std::uint64_t* cached_row(const SetCache& sc, NodeId id) const {
+    return sc.rows.data() + static_cast<std::size_t>(id) * sc.words;
+  }
+  void schedule(NodeId id);
+  /// Event-driven cone evaluation from the pre-seeded worklist/forced rows;
+  /// returns true when a primary-output row deviates from golden. With
+  /// `fold`, deviating internal rows are written back into the cache.
+  bool run_cone(SetCache& sc, bool fold);
+  bool check_tie(NodeId target, bool value, bool fold);
+
+  const Netlist* nl_;
+  const DefenderSuite* suite_;
+  bool sequential_ = false;
+  std::size_t cap_ = 0;     ///< node capacity of rows/scratch
+  std::size_t stride_ = 0;  ///< max words over all sets
+  std::vector<SetCache> sets_;
+  std::vector<NodeId> recorded_po_;  ///< outputs() as of the cached state
+  std::vector<std::uint32_t> rank_;
+  // Worklist scratch (FaultSimEngine-style touched-row discipline).
+  RankWorklist worklist_{rank_};
+  std::vector<std::uint64_t> scratch_;
+  std::vector<char> touched_;
+  std::vector<NodeId> visited_;
+  std::vector<std::uint64_t> trig_, fire_;
+};
+
+/// One engine per (original netlist, defender suite, power model) triple;
+/// runs both algorithms incrementally.
+class FlowEngine {
+ public:
+  FlowEngine(const Netlist& original, const DefenderSuite& suite,
+             const PowerModel& pm)
+      : original_(&original), suite_(&suite), pm_(&pm) {}
+
+  /// Algorithm 1 on a SuiteOracle: tie, O(cone) recheck, undo-log revert.
+  SalvageResult salvage(const SalvageOptions& opt = {});
+
+  /// Algorithm 2 on the oracle + PowerTracker: candidates are rejected
+  /// before materialisation where possible; materialised rejects roll back
+  /// through the added-node range.
+  InsertionResult insert(const SalvageResult& salvaged,
+                         const InsertionOptions& opt = {});
+
+ private:
+  const Netlist* original_;
+  const DefenderSuite* suite_;
+  const PowerModel* pm_;
+};
+
+/// Greedy dummy-gate balancing on tracker deltas (paper Sec. IV-4). Adds
+/// unconnected-output gates until every remaining differential sits inside
+/// the slack band, never letting any of total/dynamic/leakage power or area
+/// exceed `threshold`. The tracker must be synced to `nl` and not be inside
+/// a transaction. Returns the number of gates added.
+std::size_t balance_with_dummies(Netlist& nl, PowerTracker& tracker,
+                                 const PowerReport& threshold,
+                                 const InsertionOptions& opt);
+
+}  // namespace tz

@@ -4,17 +4,6 @@
 #include <stdexcept>
 
 namespace tz {
-namespace {
-
-std::string fresh_name(const Netlist& nl, const std::string& base) {
-  if (nl.find(base) == kNoNode) return base;
-  int k = 1;
-  std::string name = base + std::to_string(k);
-  while (nl.find(name) != kNoNode) name = base + std::to_string(++k);
-  return name;
-}
-
-}  // namespace
 
 std::vector<TrojanDesc> default_ht_library() {
   return {
@@ -44,7 +33,7 @@ InsertedHT build_trojan(Netlist& nl, const TrojanDesc& desc,
   ht.victim = victim;
   auto add = [&](GateType t, const std::string& base,
                  std::initializer_list<NodeId> fanin) {
-    const NodeId id = nl.add_gate(t, fresh_name(nl, base), fanin);
+    const NodeId id = nl.add_gate(t, nl.unique_name(base), fanin);
     ht.added_nodes.push_back(id);
     return id;
   };
@@ -118,9 +107,9 @@ NodeId add_dummy_gate(Netlist& nl, NodeId primary_input, GateType type,
     throw std::invalid_argument("add_dummy_gate: dead input");
   }
   if (type == GateType::Not || type == GateType::Buf) {
-    return nl.add_gate(type, fresh_name(nl, name_hint), {primary_input});
+    return nl.add_gate(type, nl.unique_name(name_hint), {primary_input});
   }
-  return nl.add_gate(type, fresh_name(nl, name_hint),
+  return nl.add_gate(type, nl.unique_name(name_hint),
                      {primary_input, primary_input});
 }
 

@@ -1,7 +1,8 @@
 #include "core/insertion.hpp"
 
 #include <algorithm>
-#include <cmath>
+
+#include "core/flow_engine.hpp"
 
 namespace tz {
 
@@ -26,22 +27,11 @@ std::vector<NodeId> payload_locations(const Netlist& nl, std::size_t limit) {
   return cands;
 }
 
-std::vector<NodeId> trigger_pool(const Netlist& nl, const SignalProb& sp,
-                                 double rare_p1, NodeId victim) {
-  // Exclude the victim's transitive fanout (payload rewiring must not create
-  // a combinational loop through the trigger).
-  std::vector<char> downstream(nl.raw_size(), 0);
-  std::vector<NodeId> stack{victim};
-  while (!stack.empty()) {
-    const NodeId id = stack.back();
-    stack.pop_back();
-    if (downstream[id]) continue;
-    downstream[id] = 1;
-    for (NodeId r : nl.node(id).fanout) stack.push_back(r);
-  }
+std::vector<NodeId> rare_net_list(const Netlist& nl, const SignalProb& sp,
+                                  double rare_p1) {
   std::vector<NodeId> pool;
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
-    if (!nl.is_alive(id) || downstream[id]) continue;
+    if (!nl.is_alive(id)) continue;
     const Node& n = nl.node(id);
     if (!is_combinational(n.type) || is_const(n.type)) continue;
     if (sp.p1(id) <= rare_p1) pool.push_back(id);
@@ -52,150 +42,38 @@ std::vector<NodeId> trigger_pool(const Netlist& nl, const SignalProb& sp,
   return pool;
 }
 
-namespace {
-
-/// Greedy dummy-gate balancing: add unconnected-output gates until the
-/// remaining total-power / leakage / area differentials all sit inside the
-/// slack band. Two flavours are used: PI-fed dummies contribute dynamic
-/// power, leakage and area; tie-fed dummies see no transitions and
-/// contribute leakage and area only — the knob for topping up leakage when
-/// the total-power budget is already tight (the paper's dummy gates "in
-/// parallel to the primary inputs with outputs unconnected").
-std::size_t balance_with_dummies(Netlist& nl, const PowerModel& pm,
-                                 const PowerReport& threshold,
-                                 const InsertionOptions& opt) {
-  std::size_t added = 0;
-  if (nl.inputs().empty()) return 0;
-  struct MenuItem {
-    GateType type;
-    bool tie_fed;
-  };
-  // Two flavours, two deficits. Leakage is a component of total power, so
-  // the deficits decompose: `dl` is leakage-shaped (fill with tie-fed
-  // gates, which burn no dynamic power) and `dp - dl` is dynamic-shaped
-  // (fill with PI-fed gates, which burn little leakage headroom per
-  // microwatt). Picking the flavour by the dominant deficit avoids
-  // saturating one cap while the other still has a visible gap — which is
-  // what a two-feature detector like [12] would catch.
-  static constexpr MenuItem kDynamicMenu[] = {
-      {GateType::Buf, false}, {GateType::Xor, false}, {GateType::Not, false},
-      {GateType::Xor, true},  {GateType::Nand, true}, {GateType::Not, true},
-  };
-  static constexpr MenuItem kLeakageMenu[] = {
-      {GateType::Xor, true},  {GateType::Nand, true}, {GateType::Not, true},
-      {GateType::Buf, false}, {GateType::Xor, false}, {GateType::Not, false},
-  };
-  while (added < opt.max_dummy_gates) {
-    const PowerReport now = pm.analyze(nl).totals;
-    const double dp = threshold.total_uw() - now.total_uw();
-    const double dl = threshold.leakage_uw - now.leakage_uw;
-    const double da = threshold.area_ge - now.area_ge;
-    const bool power_ok = dp <= opt.power_slack_rel * threshold.total_uw();
-    const bool leak_ok = dl <= opt.power_slack_rel * threshold.leakage_uw;
-    const bool area_ok = da <= opt.area_slack_rel * threshold.area_ge;
-    if (power_ok && leak_ok && area_ok) break;
-    const bool want_dynamic =
-        (dp - dl) > 0.5 * opt.power_slack_rel * threshold.total_uw();
-    const auto& menu = want_dynamic ? kDynamicMenu : kLeakageMenu;
-    bool placed = false;
-    for (const MenuItem& item : menu) {
-      Netlist trial = nl;
-      const NodeId src = item.tie_fed
-                             ? trial.const_node(false)
-                             : trial.inputs()[added % trial.inputs().size()];
-      add_dummy_gate(trial, src, item.type, "tz_dummy");
-      const PowerReport after = pm.analyze(trial).totals;
-      if (after.total_uw() <= threshold.total_uw() &&
-          after.leakage_uw <= threshold.leakage_uw &&
-          after.area_ge <= threshold.area_ge) {
-        nl = std::move(trial);
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) break;  // every gate overshoots: differential already tiny
-    ++added;
+std::vector<char> downstream_mask(const Netlist& nl, NodeId victim) {
+  std::vector<char> downstream(nl.raw_size(), 0);
+  std::vector<NodeId> stack{victim};
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    if (downstream[id]) continue;
+    downstream[id] = 1;
+    for (NodeId r : nl.node(id).fanout) stack.push_back(r);
   }
-  return added;
+  return downstream;
 }
 
-}  // namespace
+std::vector<NodeId> trigger_pool(const Netlist& nl, const SignalProb& sp,
+                                 double rare_p1, NodeId victim) {
+  // Exclude the victim's transitive fanout (payload rewiring must not create
+  // a combinational loop through the trigger). Filtering the sorted rare
+  // list preserves the lowest-P1-first order.
+  const std::vector<char> down = downstream_mask(nl, victim);
+  std::vector<NodeId> pool;
+  for (NodeId id : rare_net_list(nl, sp, rare_p1)) {
+    if (!down[id]) pool.push_back(id);
+  }
+  return pool;
+}
 
 InsertionResult insert_trojan(const Netlist& original,
                               const SalvageResult& salvaged,
                               const DefenderSuite& suite,
                               const PowerModel& pm,
                               const InsertionOptions& opt) {
-  InsertionResult result;
-  result.threshold = pm.analyze(original).totals;
-
-  std::vector<TrojanDesc> library =
-      opt.library.empty() ? default_ht_library() : opt.library;
-
-  const Netlist& nprime = salvaged.modified;
-  const SignalProb sp(nprime);
-  const std::vector<NodeId> locations =
-      payload_locations(nprime, opt.max_locations);
-
-  for (const TrojanDesc& desc : library) {
-    ++result.tried_hts;
-    for (NodeId victim : locations) {
-      ++result.tried_locations;
-      const std::vector<NodeId> pool =
-          trigger_pool(nprime, sp, opt.rare_p1, victim);
-      if (pool.size() < static_cast<std::size_t>(desc.trigger_width)) {
-        ++result.fail_build;
-        continue;
-      }
-
-      Netlist work = nprime;  // ids shared with nprime's numbering
-      InsertedHT ht;
-      try {
-        ht = build_trojan(work, desc, pool, victim);
-      } catch (const std::exception&) {
-        ++result.fail_build;
-        continue;  // structural rejection (loop, arity, ...)
-      }
-      // Defender validation (Algorithm 2 line 3-7).
-      if (!functional_test(work, suite)) {
-        ++result.fail_test;
-        continue;
-      }
-
-      // Power/area caps (lines 11-13); balance a negative differential.
-      PowerReport p = pm.analyze(work).totals;
-      if (p.total_uw() > result.threshold.total_uw() ||
-          p.leakage_uw > result.threshold.leakage_uw * 1.02 ||
-          p.area_ge > result.threshold.area_ge) {
-        ++result.fail_caps;
-        continue;  // this HT at this location breaks a cap -> next location
-      }
-      const std::size_t dummies =
-          balance_with_dummies(work, pm, result.threshold, opt);
-      p = pm.analyze(work).totals;
-
-      result.success = true;
-      result.infected = std::move(work);
-      result.ht = ht;
-      result.ht_desc = desc;
-      result.ht_name = desc.name;
-      result.victim_name = nprime.node(victim).name;
-      result.dummy_gates = dummies;
-      result.power = p;
-      {
-        // Analytic per-cycle trigger probability: product over trigger nets.
-        double q = 1.0;
-        int used = 0;
-        for (NodeId r : pool) {
-          if (used++ >= desc.trigger_width) break;
-          q *= sp.p1(r);
-        }
-        result.trigger_p1 = q;
-      }
-      return result;
-    }
-  }
-  return result;  // success = false
+  return FlowEngine(original, suite, pm).insert(salvaged, opt);
 }
 
 }  // namespace tz

@@ -54,6 +54,9 @@ struct InsertionResult {
 };
 
 /// Run Algorithm 2 on the salvaged circuit N' with thresholds from N.
+/// Success implies `power <= threshold` component-wise: total, dynamic and
+/// leakage power and area never exceed the HT-free circuit.
+/// (Thin wrapper over FlowEngine::insert — see core/flow_engine.hpp.)
 InsertionResult insert_trojan(const Netlist& original,
                               const SalvageResult& salvaged,
                               const DefenderSuite& suite,
@@ -63,6 +66,15 @@ InsertionResult insert_trojan(const Netlist& original,
 /// Candidate payload locations: internal nets that feed primary-output
 /// cones, deepest first (the c880 case study targets the ALU carry-in).
 std::vector<NodeId> payload_locations(const Netlist& nl, std::size_t limit);
+
+/// Every rare net (P1 <= rare_p1), lowest P1 first — computed once per
+/// netlist; trigger_pool filters it per victim.
+std::vector<NodeId> rare_net_list(const Netlist& nl, const SignalProb& sp,
+                                  double rare_p1);
+
+/// Transitive-fanout membership mask of `victim` (victim included), indexed
+/// by NodeId.
+std::vector<char> downstream_mask(const Netlist& nl, NodeId victim);
 
 /// Rare-net pool for trigger construction, lowest P1 first. Nets in the
 /// transitive fanout of `victim` are excluded to keep the payload loop-free.

@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <ostream>
 
+#include "core/flow_engine.hpp"
 #include "core/trigger_prob.hpp"
 
 namespace tz {
@@ -20,11 +21,13 @@ FlowResult run_trojanzero_flow(const std::string& benchmark_name,
   r.atpg_coverage = r.suite.algorithms.front().coverage.coverage();
   r.p_n = pm.analyze(r.original).totals;
 
+  FlowEngine engine(r.original, r.suite, pm);
+
   // Phase (b): Algorithm 1.
   SalvageOptions sopt;
   sopt.pth = options.pth;
   sopt.order = options.order;
-  r.salvage = salvage_power_area(r.original, r.suite, pm, sopt);
+  r.salvage = engine.salvage(sopt);
   r.p_np = r.salvage.power_after;
 
   // Phase (c): Algorithm 2. The library starts with the Table I counter for
@@ -37,17 +40,21 @@ FlowResult run_trojanzero_flow(const std::string& benchmark_name,
     }
     iopt.library.push_back(counter_trojan(0));  // comparator trigger
   }
-  r.insertion = insert_trojan(r.original, r.salvage, r.suite, pm, iopt);
+  r.insertion = engine.insert(r.salvage, iopt);
   r.p_npp = r.insertion.power;
 
-  // Pft over the defender's total pattern count.
-  std::size_t test_len = 0;
-  for (const DefenderTestSet& ts : r.suite.algorithms) {
-    test_len += ts.patterns.num_patterns();
+  // Pft over the defender's total pattern count — only when an HT was
+  // actually placed; a failed insertion reports zero exposure instead of a
+  // row fabricated from a default-constructed descriptor.
+  if (r.insertion.success) {
+    std::size_t test_len = 0;
+    for (const DefenderTestSet& ts : r.suite.algorithms) {
+      test_len += ts.patterns.num_patterns();
+    }
+    r.pft = analytic_pft(r.insertion.trigger_p1, test_len, 0);
+    r.pft_payload = analytic_pft(r.insertion.trigger_p1, test_len,
+                                 r.insertion.ht_desc.counter_bits);
   }
-  r.pft = analytic_pft(r.insertion.trigger_p1, test_len, 0);
-  r.pft_payload = analytic_pft(r.insertion.trigger_p1, test_len,
-                               r.insertion.ht_desc.counter_bits);
   return r;
 }
 
@@ -76,7 +83,7 @@ void print_table1_row(std::ostream& os, const FlowResult& r,
      << paper.paper_candidates << ")";
   os << " | Eg " << std::setw(3) << r.salvage.expendable_gates << " (paper "
      << paper.paper_expendable << ")";
-  os << " | HT " << r.insertion.ht_name;
+  os << " | HT " << (r.insertion.success ? r.insertion.ht_name : "no HT");
   os << std::setprecision(1);
   os << " | P(N/N'/N'') " << r.p_n.total_uw() << "/" << r.p_np.total_uw()
      << "/" << r.p_npp.total_uw() << " uW (paper " << paper.paper_power_n

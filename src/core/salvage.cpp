@@ -1,8 +1,6 @@
 #include "core/salvage.hpp"
 
-#include <algorithm>
-
-#include "netlist/rewrite.hpp"
+#include "core/flow_engine.hpp"
 
 namespace tz {
 
@@ -10,45 +8,7 @@ SalvageResult salvage_power_area(const Netlist& original,
                                  const DefenderSuite& suite,
                                  const PowerModel& pm,
                                  const SalvageOptions& opt) {
-  SalvageResult result;
-  result.power_before = pm.analyze(original).totals;
-
-  Netlist work = original.compact();
-  const SignalProb sp(work);
-  std::vector<Candidate> cands =
-      find_candidates(work, sp, opt.pth, opt.include_outputs);
-  result.candidates = cands.size();
-
-  if (opt.order == SalvageOptions::Order::ByLeakage) {
-    const CellLibrary& lib = pm.library();
-    std::stable_sort(cands.begin(), cands.end(),
-                     [&](const Candidate& a, const Candidate& b) {
-                       return lib.leakage_nw(work.node(a.node)) >
-                              lib.leakage_nw(work.node(b.node));
-                     });
-  }
-
-  for (const Candidate& c : cands) {
-    if (!work.is_alive(c.node)) continue;  // removed with an earlier cone
-    const std::string name = work.node(c.node).name;
-    // Plain copy keeps NodeIds stable so later candidates stay valid after a
-    // revert (compact() would renumber them).
-    Netlist snapshot = work;
-    const TieResult tie = tie_to_constant(work, c.node, c.tie_value);
-    if (functional_test(work, suite)) {
-      result.accepted.push_back(
-          {name, c.tie_value, c.probability, tie.gates_removed});
-      result.expendable_gates += tie.gates_removed;
-    } else {
-      work = std::move(snapshot);  // revert (Algorithm 1 line 20)
-      ++result.rejected;
-    }
-  }
-
-  work = work.compact();
-  result.power_after = pm.analyze(work).totals;
-  result.modified = std::move(work);
-  return result;
+  return FlowEngine(original, suite, pm).salvage(opt);
 }
 
 }  // namespace tz

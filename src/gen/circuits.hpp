@@ -33,4 +33,9 @@ Netlist gen_secded16();
 /// multiplier array and wide control decode. 50 inputs, 22 outputs.
 Netlist gen_alu_bcd();
 
+/// c6288-class: 16x16 schoolbook array multiplier with NAND-decomposed
+/// adder cells (>2k gates, the flow-engine stress benchmark). 32 inputs,
+/// 32 outputs.
+Netlist gen_mult16();
+
 }  // namespace tz

@@ -1,0 +1,94 @@
+// c6288-class: 16x16 array multiplier. The real c6288 is a 2406-gate
+// ripple-carry array of 240 full/half adders over 256 partial products; we
+// rebuild the same schoolbook array with NAND-decomposed XORs (the c6288
+// cell style), which lands in the same gate-count class and reproduces its
+// signature structure: very deep carry chains and partial-product AND rows
+// whose one-probability (0.25 and shrinking along the carry diagonals)
+// drifts far from 0.5 — the stress shape for signal-probability analysis,
+// ATPG and the TrojanZero flow engines on a >2k-gate circuit.
+#include "gen/builder.hpp"
+#include "gen/circuits.hpp"
+
+namespace tz {
+namespace {
+
+/// XOR from four NANDs: x ^ y = NAND(NAND(x, t), NAND(y, t)), t = NAND(x, y).
+NodeId nand_xor(Builder& b, NodeId x, NodeId y) {
+  const NodeId t = b.nand_(x, y);
+  return b.nand_(b.nand_(x, t), b.nand_(y, t));
+}
+
+struct AddBit {
+  NodeId sum;
+  NodeId carry;
+};
+
+/// Full adder, c6288 cell style: two NAND-XOR stages plus a NAND majority.
+/// sum = x ^ y ^ z, carry = NAND(NAND(x, y), NAND(x ^ y, z)).
+AddBit full_add(Builder& b, NodeId x, NodeId y, NodeId z) {
+  const NodeId p = nand_xor(b, x, y);
+  const NodeId s = nand_xor(b, p, z);
+  const NodeId c = b.nand_(b.nand_(x, y), b.nand_(p, z));
+  return {s, c};
+}
+
+/// Half adder: NAND-XOR sum, AND carry.
+AddBit half_add(Builder& b, NodeId x, NodeId y) {
+  return {nand_xor(b, x, y), b.and_(x, y)};
+}
+
+}  // namespace
+
+Netlist gen_mult16() {
+  constexpr int kW = 16;
+  Builder b("c6288");
+  const Bus a = b.input_bus("a", kW);
+  const Bus y = b.input_bus("b", kW);
+
+  // Partial products pp[j][i] = a_i AND b_j, weight i + j.
+  std::vector<Bus> pp(kW, Bus(kW));
+  for (int j = 0; j < kW; ++j) {
+    for (int i = 0; i < kW; ++i) {
+      pp[j][i] = b.and_(a[i], y[j]);
+    }
+  }
+
+  // Schoolbook array: accumulate row j into a running sum with a ripple of
+  // half/full adders per row — the c6288 topology (no Wallace compression),
+  // which is what produces its famously deep carry chains.
+  Bus acc = pp[0];  // weights 0 .. kW-1
+  Bus product;
+  product.reserve(2 * kW);
+  for (int j = 1; j < kW; ++j) {
+    // acc holds weights j-1 upward; its lowest bit is a final product bit.
+    product.push_back(acc[0]);
+    Bus next(kW);
+    NodeId carry = kNoNode;
+    for (int i = 0; i < kW; ++i) {
+      // Add pp[j][i] (weight j+i) to acc[i+1] (same weight) plus the ripple.
+      if (i + 1 < static_cast<int>(acc.size())) {
+        const AddBit r = carry == kNoNode
+                             ? half_add(b, acc[i + 1], pp[j][i])
+                             : full_add(b, acc[i + 1], pp[j][i], carry);
+        next[i] = r.sum;
+        carry = r.carry;
+      } else {
+        // Top bit of the first row: no accumulator bit at this weight yet.
+        const AddBit r = half_add(b, pp[j][i], carry);
+        next[i] = r.sum;
+        carry = r.carry;
+      }
+    }
+    next.push_back(carry);  // weight j + kW
+    acc = std::move(next);
+  }
+  // acc holds weights kW-1 .. 2*kW-1 (kW+1 bits after the last row).
+  for (NodeId bit : acc) product.push_back(bit);
+
+  b.output_bus(product);
+  Netlist nl = std::move(b).take();
+  nl.check();
+  return nl;
+}
+
+}  // namespace tz

@@ -161,6 +161,21 @@ NodeId Netlist::find(const std::string& name) const {
   return it->second;
 }
 
+std::string Netlist::unique_name(const std::string& base) const {
+  if (!by_name_.contains(base)) return base;
+  int k = 1;
+  std::string name = base + "_1";
+  while (by_name_.contains(name)) name = base + "_" + std::to_string(++k);
+  return name;
+}
+
+void Netlist::restore_output(std::size_t index, NodeId id) {
+  if (index >= outputs_.size() || !is_alive(id)) {
+    throw std::runtime_error("netlist: bad restore_output");
+  }
+  outputs_[index] = id;
+}
+
 bool Netlist::is_output(NodeId id) const {
   return std::find(outputs_.begin(), outputs_.end(), id) != outputs_.end();
 }
@@ -197,7 +212,8 @@ void Netlist::remove_node(NodeId id) {
     auto& fo = nodes_[f].fanout;
     fo.erase(std::remove(fo.begin(), fo.end(), id), fo.end());
   }
-  n.fanin.clear();
+  // The fanin list stays in the tombstone so restore_node can undo the
+  // removal; every traversal already skips dead nodes.
   n.dead = true;
   --live_count_;
   by_name_.erase(n.name);
@@ -216,7 +232,32 @@ void Netlist::rewire_and_remove(NodeId id, NodeId replacement) {
   remove_node(id);
 }
 
-std::size_t Netlist::sweep_dead_gates() {
+void Netlist::restore_node(NodeId id) {
+  if (id >= nodes_.size() || !nodes_[id].dead) {
+    throw std::runtime_error("netlist: restore_node on live or invalid node");
+  }
+  Node& n = nodes_[id];
+  if (by_name_.contains(n.name)) {
+    throw std::runtime_error("netlist: restore_node name '" + n.name +
+                             "' was retaken");
+  }
+  for (NodeId f : n.fanin) {
+    if (!is_alive(f)) {
+      throw std::runtime_error("netlist: restore_node fanin of '" + n.name +
+                               "' is dead (restore in reverse removal order)");
+    }
+  }
+  for (NodeId f : n.fanin) nodes_[f].fanout.push_back(id);
+  n.dead = false;
+  ++live_count_;
+  by_name_.emplace(n.name, id);
+  if (n.type == GateType::Dff) dffs_.push_back(id);
+  if (n.type == GateType::Input) inputs_.push_back(id);
+  if (n.type == GateType::Const0 && const0_ == kNoNode) const0_ = id;
+  if (n.type == GateType::Const1 && const1_ == kNoNode) const1_ = id;
+}
+
+std::size_t Netlist::sweep_dead_gates(std::vector<NodeId>* removed_log) {
   std::size_t removed = 0;
   bool changed = true;
   while (changed) {
@@ -226,6 +267,7 @@ std::size_t Netlist::sweep_dead_gates() {
       if (n.dead || n.fanout.empty() == false) continue;
       if (n.type == GateType::Input || is_output(i)) continue;
       remove_node(i);
+      if (removed_log) removed_log->push_back(i);
       ++removed;
       changed = true;
     }

@@ -77,6 +77,15 @@ class Netlist {
   /// Look up a node by name. Returns kNoNode if absent or dead.
   NodeId find(const std::string& name) const;
 
+  /// Derive a node name from `base` that is not yet taken: `base` itself when
+  /// free, else `base_1`, `base_2`, ... The single collision-avoidance scheme
+  /// shared by every rewrite that materialises new cells.
+  std::string unique_name(const std::string& base) const;
+
+  /// Replace the driver recorded at `outputs()[index]` (undo helper for
+  /// rewrites that retargeted a primary output). `id` must be alive.
+  void restore_output(std::size_t index, NodeId id);
+
   /// True if `id` is a primary output.
   bool is_output(NodeId id) const;
 
@@ -93,10 +102,17 @@ class Netlist {
   /// fanin entry is rewired to `replacement`. Used for constant tying.
   void rewire_and_remove(NodeId id, NodeId replacement);
 
+  /// Resurrect a tombstoned node (undo of remove_node). The tombstone keeps
+  /// its fanin list, which must reference live nodes — when undoing a batch
+  /// of removals, restore in reverse removal order.
+  void restore_node(NodeId id);
+
   /// Remove gates with no live readers that are not outputs, transitively.
   /// Returns the number of gates removed. PIs and tie cells are never removed
-  /// (PIs are part of the interface; orphaned ties are swept).
-  std::size_t sweep_dead_gates();
+  /// (PIs are part of the interface; orphaned ties are swept). When `removed`
+  /// is given, the ids are appended in removal order (the order restore_node
+  /// undoes when walked backwards).
+  std::size_t sweep_dead_gates(std::vector<NodeId>* removed = nullptr);
 
   /// Get-or-create a tie cell of the given constant value.
   NodeId const_node(bool value);

@@ -5,7 +5,8 @@
 
 namespace tz {
 
-TieResult tie_to_constant(Netlist& nl, NodeId target, bool value) {
+TieResult tie_to_constant(Netlist& nl, NodeId target, bool value,
+                          TieUndo* undo) {
   if (!nl.is_alive(target)) {
     throw std::runtime_error("tie_to_constant: dead target");
   }
@@ -15,28 +16,47 @@ TieResult tie_to_constant(Netlist& nl, NodeId target, bool value) {
                              "' is not a combinational gate");
   }
   TieResult res;
+  const std::size_t size_before = nl.raw_size();
+  // A tied primary output keeps its tie cell as the new driver.
   res.tie = nl.const_node(value);
-  if (nl.is_output(target)) {
-    // A tied primary output keeps its tie cell as the new driver.
-    nl.rewire_and_remove(target, res.tie);
-    res.gates_removed = 1 + nl.sweep_dead_gates();
-    return res;
+  if (undo) {
+    undo->target = target;
+    undo->tie = res.tie;
+    undo->tie_created = nl.raw_size() > size_before;
+    for (NodeId reader : nl.node(target).fanout) {
+      const auto& fi = nl.node(reader).fanin;
+      for (std::size_t slot = 0; slot < fi.size(); ++slot) {
+        if (fi[slot] == target) undo->rewired.emplace_back(reader, slot);
+      }
+    }
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      if (nl.outputs()[o] == target) undo->output_slots.push_back(o);
+    }
+    undo->removed.push_back(target);
   }
   nl.rewire_and_remove(target, res.tie);
-  res.gates_removed = 1 + nl.sweep_dead_gates();
+  res.gates_removed =
+      1 + nl.sweep_dead_gates(undo ? &undo->removed : nullptr);
   return res;
 }
 
-namespace {
-
-/// Derive a fresh node name from `base` that is not yet taken.
-std::string unique_name(const Netlist& nl, const std::string& base) {
-  if (nl.find(base) == kNoNode) return base;
-  int k = 1;
-  std::string name = base + "_1";
-  while (nl.find(name) != kNoNode) name = base + "_" + std::to_string(++k);
-  return name;
+void undo_tie(Netlist& nl, const TieUndo& undo) {
+  // Tombstones keep their fanin, so reverse removal order guarantees every
+  // fanin is alive again by the time its reader is resurrected.
+  for (auto it = undo.removed.rbegin(); it != undo.removed.rend(); ++it) {
+    nl.restore_node(*it);
+  }
+  for (const auto& [reader, slot] : undo.rewired) {
+    nl.relink_fanin(reader, slot, undo.target);
+  }
+  for (std::size_t o : undo.output_slots) nl.restore_output(o, undo.target);
+  if (undo.tie_created && nl.is_alive(undo.tie) &&
+      nl.node(undo.tie).fanout.empty() && !nl.is_output(undo.tie)) {
+    nl.remove_node(undo.tie);
+  }
 }
+
+namespace {
 
 /// One constant-folding step on `id`. Returns true if the netlist changed.
 bool fold_gate(Netlist& nl, NodeId id) {
@@ -72,7 +92,7 @@ bool fold_gate(Netlist& nl, NodeId id) {
       nl.sweep_dead_gates();
       return;
     }
-    const std::string inv_name = unique_name(nl, nl.node(id).name + "_inv");
+    const std::string inv_name = nl.unique_name(nl.node(id).name + "_inv");
     const NodeId inv = nl.add_gate(GateType::Not, inv_name, {src});
     nl.rewire_and_remove(id, inv);
     nl.sweep_dead_gates();
@@ -93,7 +113,7 @@ bool fold_gate(Netlist& nl, NodeId id) {
       if (live_fanin.empty()) { tie_away(!is_nand); return true; }
       if (live_fanin.size() == 1) { forward(live_fanin[0], is_nand); return true; }
       // Rebuild with trimmed fanin.
-      const std::string nm = unique_name(nl, n.name + "_f");
+      const std::string nm = nl.unique_name(n.name + "_f");
       const NodeId g = nl.add_gate(n.type, nm, live_fanin);
       nl.rewire_and_remove(id, g);
       nl.sweep_dead_gates();
@@ -105,7 +125,7 @@ bool fold_gate(Netlist& nl, NodeId id) {
       if (ones > 0) { tie_away(!is_nor); return true; }
       if (live_fanin.empty()) { tie_away(is_nor); return true; }
       if (live_fanin.size() == 1) { forward(live_fanin[0], is_nor); return true; }
-      const std::string nm = unique_name(nl, n.name + "_f");
+      const std::string nm = nl.unique_name(n.name + "_f");
       const NodeId g = nl.add_gate(n.type, nm, live_fanin);
       nl.rewire_and_remove(id, g);
       nl.sweep_dead_gates();
@@ -118,7 +138,7 @@ bool fold_gate(Netlist& nl, NodeId id) {
       if (live_fanin.empty()) { tie_away(invert); return true; }
       if (live_fanin.size() == 1) { forward(live_fanin[0], invert); return true; }
       const GateType t = invert ? GateType::Xnor : GateType::Xor;
-      const std::string nm = unique_name(nl, n.name + "_f");
+      const std::string nm = nl.unique_name(n.name + "_f");
       const NodeId g = nl.add_gate(t, nm, live_fanin);
       nl.rewire_and_remove(id, g);
       nl.sweep_dead_gates();

@@ -9,7 +9,6 @@
 #include "sim/simulator.hpp"
 
 namespace tz {
-namespace {
 
 double gate_p1(const Node& n, const std::vector<double>& p) {
   switch (n.type) {
@@ -58,8 +57,6 @@ double gate_p1(const Node& n, const std::vector<double>& p) {
   }
   return 0.0;
 }
-
-}  // namespace
 
 SignalProb::SignalProb(const Netlist& nl, SignalProbOptions opt)
     : p1_(nl.raw_size(), 0.0) {

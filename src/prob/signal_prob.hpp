@@ -21,6 +21,12 @@ struct SignalProbOptions {
   double dff_epsilon = 1e-9; ///< Convergence threshold on DFF probabilities.
 };
 
+/// P(output = 1) of one combinational gate given fanin probabilities `p`
+/// (independence assumption). The single evaluation kernel shared by
+/// SignalProb's global pass and the incremental PowerTracker — both must
+/// produce bit-identical doubles. Throws on source nodes (Input/Dff).
+double gate_p1(const Node& n, const std::vector<double>& p);
+
 class SignalProb {
  public:
   explicit SignalProb(const Netlist& nl, SignalProbOptions opt = {});

@@ -1,0 +1,251 @@
+#include "tech/power_tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prob/signal_prob.hpp"
+
+namespace tz {
+
+PowerTracker::PowerTracker(const Netlist& nl, const PowerModel& pm)
+    : nl_(&nl), pm_(&pm) {
+  const SignalProb sp(nl);
+  const PowerBreakdown b = pm.analyze(nl, sp);
+  p1_ = sp.all_p1();
+  dyn_ = b.dynamic_uw;
+  leak_ = b.leakage_uw;
+  area_ = b.area_ge;
+  rank_.assign(nl.raw_size(), 0);
+  const std::vector<NodeId> order = nl.topo_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank_[order[i]] = static_cast<std::uint32_t>(i);
+  }
+  next_rank_ = static_cast<std::uint32_t>(order.size());
+  worklist_.resize(nl.raw_size());
+  touched_.assign(nl.raw_size(), 0);
+}
+
+void PowerTracker::grow() {
+  const std::size_t n = nl_->raw_size();
+  if (p1_.size() >= n) return;
+  // New nodes are appended by Netlist::add_gate reading only already-present
+  // nodes, so id order extends the topological rank order.
+  for (std::size_t id = p1_.size(); id < n; ++id) {
+    rank_.push_back(next_rank_++);
+  }
+  p1_.resize(n, 0.0);
+  dyn_.resize(n, 0.0);
+  leak_.resize(n, 0.0);
+  area_.resize(n, 0.0);
+  worklist_.resize(n);
+  touched_.resize(n, 0);
+}
+
+void PowerTracker::touch(NodeId id) {
+  if (!txn_ || touched_[id]) return;
+  touched_[id] = 1;
+  undo_.push_back({id, p1_[id], dyn_[id], leak_[id], area_[id]});
+}
+
+void PowerTracker::refresh_rows(NodeId id) {
+  touch(id);
+  if (!nl_->is_alive(id)) {
+    dyn_[id] = leak_[id] = area_[id] = 0.0;
+    return;
+  }
+  // Mirrors PowerModel::analyze_with_activity term for term so the rows stay
+  // bit-identical with a from-scratch analysis.
+  const Node& n = nl_->node(id);
+  const CellLibrary& lib = pm_->library();
+  area_[id] = lib.area_ge(n);
+  leak_[id] = lib.leakage_nw(n) * 1e-3;
+  const double alpha = 2.0 * p1_[id] * (1.0 - p1_[id]);
+  const double vdd = lib.vdd();
+  const double f = lib.clock_hz();
+  double energy_fj =
+      lib.internal_energy_fj(n) + 0.5 * pm_->load_cap_ff(*nl_, id) * vdd * vdd;
+  double p_dyn_w = alpha * f * energy_fj * 1e-15;
+  if (n.type == GateType::Dff) {
+    p_dyn_w += f * lib.dff_clock_energy_fj() * 1e-15;
+  }
+  dyn_[id] = p_dyn_w * 1e6;
+}
+
+void PowerTracker::run_dff_fixpoint(std::vector<NodeId>& rows_dirty) {
+  // Replays SignalProb's sequential solve on the DFF-reachable region only:
+  // every DFF restarts from the reset state and the damped iteration runs
+  // with the same order, damping and epsilon, so the converged values equal
+  // a from-scratch SignalProb of the current netlist.
+  const SignalProbOptions opt;
+  const std::vector<NodeId>& dffs = nl_->dffs();
+  std::vector<NodeId> domain;
+  std::vector<char> seen(nl_->raw_size(), 0);
+  std::vector<NodeId> stack;
+  for (NodeId q : dffs) {
+    touch(q);
+    p1_[q] = 0.0;
+    stack.push_back(q);
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId reader : nl_->node(id).fanout) {
+      if (seen[reader] || !nl_->is_alive(reader)) continue;
+      const GateType t = nl_->node(reader).type;
+      if (t == GateType::Dff || t == GateType::Input) continue;
+      seen[reader] = 1;
+      domain.push_back(reader);
+      stack.push_back(reader);
+    }
+  }
+  // Order the domain topologically over its internal edges. Ranks are not
+  // enough here: a splice can make low-rank readers consume a high-rank new
+  // node, and the fixpoint's per-pass evaluation must match a full topo pass
+  // (any valid order does — every fanin is final before its reader runs).
+  {
+    std::vector<std::uint32_t> indeg(nl_->raw_size(), 0);
+    for (NodeId id : domain) {
+      for (NodeId f : nl_->node(id).fanin) {
+        if (seen[f]) ++indeg[id];
+      }
+    }
+    std::vector<NodeId> ready;
+    for (NodeId id : domain) {
+      if (indeg[id] == 0) ready.push_back(id);
+    }
+    std::vector<NodeId> order;
+    order.reserve(domain.size());
+    while (!ready.empty()) {
+      const NodeId id = ready.back();
+      ready.pop_back();
+      order.push_back(id);
+      for (NodeId reader : nl_->node(id).fanout) {
+        if (reader < seen.size() && seen[reader] && --indeg[reader] == 0) {
+          ready.push_back(reader);
+        }
+      }
+    }
+    domain = std::move(order);
+  }
+  auto propagate = [&] {
+    for (NodeId id : domain) {
+      const double next = gate_p1(nl_->node(id), p1_);
+      if (next != p1_[id]) {
+        touch(id);
+        p1_[id] = next;
+      }
+    }
+  };
+  propagate();
+  for (int it = 0; it < opt.dff_max_iters; ++it) {
+    double delta = 0.0;
+    for (NodeId q : dffs) {
+      const double next = 0.5 * (p1_[q] + p1_[nl_->node(q).fanin[0]]);
+      delta = std::max(delta, std::abs(next - p1_[q]));
+      touch(q);
+      p1_[q] = next;
+    }
+    propagate();
+    if (delta < opt.dff_epsilon) break;
+  }
+  rows_dirty.insert(rows_dirty.end(), dffs.begin(), dffs.end());
+  rows_dirty.insert(rows_dirty.end(), domain.begin(), domain.end());
+}
+
+void PowerTracker::resync(std::span<const NodeId> fresh,
+                          std::span<const NodeId> cap_changed) {
+  grow();
+  std::vector<NodeId> rows_dirty(fresh.begin(), fresh.end());
+  rows_dirty.insert(rows_dirty.end(), cap_changed.begin(), cap_changed.end());
+
+  bool dff_dirty = false;
+  for (NodeId id : fresh) {
+    if (nl_->is_alive(id) && nl_->node(id).type == GateType::Dff) {
+      dff_dirty = true;
+    }
+    worklist_.push(id);
+  }
+  // Event-driven P1 propagation; a node whose recomputed P1 is unchanged
+  // generates no further events. Re-queued nodes converge to the same pure
+  // function of the final fanin values regardless of pop order.
+  while (!worklist_.empty()) {
+    const NodeId id = worklist_.pop();
+    if (!nl_->is_alive(id)) {
+      // Tombstoned seed: zero its contribution; it has no readers.
+      touch(id);
+      p1_[id] = 0.0;
+      continue;
+    }
+    const GateType t = nl_->node(id).type;
+    if (t == GateType::Input || t == GateType::Dff) continue;
+    const double next = gate_p1(nl_->node(id), p1_);
+    if (next == p1_[id]) continue;
+    touch(id);
+    p1_[id] = next;
+    rows_dirty.push_back(id);
+    for (NodeId reader : nl_->node(id).fanout) {
+      if (!nl_->is_alive(reader)) continue;
+      if (nl_->node(reader).type == GateType::Dff) {
+        dff_dirty = true;
+        continue;
+      }
+      worklist_.push(reader);
+    }
+  }
+  if (dff_dirty && !nl_->dffs().empty()) {
+    run_dff_fixpoint(rows_dirty);
+  }
+  for (NodeId id : rows_dirty) refresh_rows(id);
+}
+
+PowerReport PowerTracker::totals() const {
+  // NodeId-order accumulation: dead rows hold +0.0, so the sums equal the
+  // live-only accumulation PowerModel::analyze performs.
+  PowerReport t;
+  for (std::size_t id = 0; id < p1_.size(); ++id) {
+    t.dynamic_uw += dyn_[id];
+    t.leakage_uw += leak_[id];
+    t.area_ge += area_[id];
+  }
+  return t;
+}
+
+void PowerTracker::begin() {
+  if (txn_) throw std::logic_error("PowerTracker: nested transaction");
+  txn_ = true;
+  txn_old_size_ = p1_.size();
+  txn_old_next_rank_ = next_rank_;
+}
+
+void PowerTracker::rollback() {
+  if (!txn_) throw std::logic_error("PowerTracker: rollback without begin");
+  for (auto it = undo_.rbegin(); it != undo_.rend(); ++it) {
+    if (it->id < txn_old_size_) {
+      p1_[it->id] = it->p1;
+      dyn_[it->id] = it->dyn;
+      leak_[it->id] = it->leak;
+      area_[it->id] = it->area;
+    }
+    touched_[it->id] = 0;
+  }
+  undo_.clear();
+  p1_.resize(txn_old_size_);
+  dyn_.resize(txn_old_size_);
+  leak_.resize(txn_old_size_);
+  area_.resize(txn_old_size_);
+  rank_.resize(txn_old_size_);
+  worklist_.resize(txn_old_size_);
+  touched_.resize(txn_old_size_);
+  next_rank_ = txn_old_next_rank_;
+  txn_ = false;
+}
+
+void PowerTracker::commit() {
+  if (!txn_) throw std::logic_error("PowerTracker: commit without begin");
+  for (const Saved& s : undo_) touched_[s.id] = 0;
+  undo_.clear();
+  txn_ = false;
+}
+
+}  // namespace tz

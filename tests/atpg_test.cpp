@@ -110,6 +110,25 @@ TEST(Podem, C432ConsensusCoversAreUntestable) {
   EXPECT_GT(untestable, 5);  // the injected consensus covers at minimum
 }
 
+
+TEST(PodemEngine, ReusedEngineMatchesOneShotPodem) {
+  // One engine across an entire fault universe must return exactly what the
+  // one-shot wrapper does for each fault (status, pattern, don't-care mask,
+  // backtrack count) — the scratch reuse and event-driven implication are
+  // pure optimisations.
+  const Netlist nl = make_benchmark("c432");
+  const auto faults = collapse_faults(nl, fault_universe(nl));
+  PodemEngine engine(nl);
+  for (const Fault& f : faults) {
+    const PodemResult fresh = podem(nl, f);
+    const PodemResult reused = engine.run(f);
+    ASSERT_EQ(reused.status, fresh.status) << to_string(nl, f);
+    EXPECT_EQ(reused.backtracks, fresh.backtracks) << to_string(nl, f);
+    EXPECT_EQ(reused.pattern, fresh.pattern) << to_string(nl, f);
+    EXPECT_EQ(reused.assigned, fresh.assigned) << to_string(nl, f);
+  }
+}
+
 TEST(FaultSim, AgreesWithPodemOnDetection) {
   const Netlist nl = make_benchmark("c17");
   const auto faults = fault_universe(nl);

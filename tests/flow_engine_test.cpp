@@ -1,0 +1,364 @@
+// Tests for the incremental FlowEngine layer: SuiteOracle equivalence with
+// full functional_test, PowerTracker parity with from-scratch analysis,
+// tie undo logs, and the dummy-balancing loop's cap discipline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/flow_engine.hpp"
+#include "core/ht_library.hpp"
+#include "core/insertion.hpp"
+#include "core/report.hpp"
+#include "gen/iscas.hpp"
+#include "netlist/rewrite.hpp"
+#include "prob/signal_prob.hpp"
+#include "sim/simulator.hpp"
+#include "tech/power_tracker.hpp"
+#include "testutil.hpp"
+
+namespace tz {
+namespace {
+
+PowerModel model() { return PowerModel(CellLibrary::tsmc65_like()); }
+
+TestGenOptions defender_defaults() { return FlowOptions::atpg_only_defender(); }
+
+// ---- SuiteOracle -----------------------------------------------------------
+
+TEST(SuiteOracle, TieVerdictMatchesFullFunctionalTest) {
+  // For every Algorithm 1 candidate, the oracle's cone re-simulation must
+  // agree with streaming the whole suite over the tied netlist.
+  for (const char* name : {"c432", "c880"}) {
+    const Netlist original = make_benchmark(name);
+    const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+    const Netlist work = original.compact();
+    const SignalProb sp(work);
+    const auto cands = find_candidates(work, sp, spec_for(name).pth, false);
+    ASSERT_FALSE(cands.empty());
+    SuiteOracle oracle(work, suite);
+    ASSERT_FALSE(oracle.sequential());
+    for (const Candidate& c : cands) {
+      Netlist reference = work;
+      tie_to_constant(reference, c.node, c.tie_value);
+      const bool expect_visible = !functional_test(reference, suite);
+      EXPECT_EQ(oracle.tie_visible(c.node, c.tie_value), expect_visible)
+          << name << " candidate " << work.node(c.node).name;
+    }
+  }
+}
+
+TEST(SuiteOracle, CommittedTiesKeepLaterVerdictsExact) {
+  // Accepted ties must leave the cache describing the updated netlist, so a
+  // later candidate in the same run is judged against the right baseline.
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  Netlist work = original.compact();
+  const SignalProb sp(work);
+  const auto cands = find_candidates(work, sp, 0.992, false);
+  SuiteOracle oracle(work, suite);
+  for (const Candidate& c : cands) {
+    if (!work.is_alive(c.node)) continue;
+    Netlist reference = work;
+    tie_to_constant(reference, c.node, c.tie_value);
+    const bool expect_visible = !functional_test(reference, suite);
+    ASSERT_EQ(oracle.tie_visible(c.node, c.tie_value), expect_visible);
+    if (!expect_visible) {
+      oracle.commit_tie(c.node, c.tie_value);
+      tie_to_constant(work, c.node, c.tie_value);
+      oracle.resync_structure();
+    }
+  }
+  EXPECT_TRUE(functional_test(work, suite));
+}
+
+TEST(SuiteOracle, HtVerdictMatchesMaterializedFunctionalTest) {
+  // The pre-materialisation replay (trigger AND + counter + masked payload
+  // deviation) must agree with building the HT and streaming the suite.
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  const PowerModel pm = model();
+  const SalvageResult sal = salvage_power_area(original, suite, pm, {.pth = 0.992});
+  const Netlist& nprime = sal.modified;
+  const SignalProb sp(nprime);
+  const auto locations = payload_locations(nprime, 6);
+  SuiteOracle oracle(nprime, suite);
+  ASSERT_FALSE(oracle.sequential());
+  int checked = 0;
+  for (const TrojanDesc& desc :
+       {counter_trojan(2), counter_trojan(3), counter_trojan(0, 2)}) {
+    for (NodeId victim : locations) {
+      const auto pool = trigger_pool(nprime, sp, 0.05, victim);
+      if (pool.size() < static_cast<std::size_t>(desc.trigger_width)) continue;
+      Netlist reference = nprime;
+      build_trojan(reference, desc, pool, victim);
+      const bool expect_visible = !functional_test(reference, suite);
+      EXPECT_EQ(oracle.ht_visible(
+                    std::span<const NodeId>(
+                        pool.data(),
+                        static_cast<std::size_t>(desc.trigger_width)),
+                    desc.counter_bits, victim),
+                expect_visible)
+          << desc.name << " at " << nprime.node(victim).name;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5);
+}
+
+// ---- TieUndo ---------------------------------------------------------------
+
+TEST(TieUndo, RevertRestoresStructureAndFunction) {
+  const Netlist original = make_benchmark("c432").compact();
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  Netlist work = original;
+  const SignalProb sp(work);
+  const auto cands = find_candidates(work, sp, 0.975, false);
+  ASSERT_GE(cands.size(), 3u);
+  const PatternSet probe = random_patterns(work.inputs().size(), 128, 7);
+  const PatternSet golden = BitSimulator(original).outputs(probe);
+  for (const Candidate& c : cands) {
+    TieUndo undo;
+    const TieResult tie = tie_to_constant(work, c.node, c.tie_value, &undo);
+    EXPECT_EQ(undo.removed.size(), tie.gates_removed);
+    undo_tie(work, undo);
+    work.check();
+  }
+  // After every tie was reverted the netlist computes the original function
+  // and carries the original cell population.
+  EXPECT_EQ(work.live_count(), original.live_count());
+  EXPECT_EQ(work.gate_count(), original.gate_count());
+  EXPECT_TRUE(BitSimulator::responses_equal(BitSimulator(work).outputs(probe),
+                                            golden));
+}
+
+TEST(TieUndo, RevertHandlesTiedPrimaryOutput) {
+  // include_outputs salvage ties an output: the tie cell takes over the PO
+  // slot; the revert must hand it back.
+  Netlist nl("po");
+  const auto ins = test::add_inputs(nl, 2);
+  const NodeId g = nl.add_gate(GateType::And, "g", {ins[0], ins[1]});
+  const NodeId o = nl.add_gate(GateType::Or, "o", {g, ins[0]});
+  nl.mark_output(o);
+  TieUndo undo;
+  tie_to_constant(nl, o, true, &undo);
+  EXPECT_NE(nl.outputs()[0], o);
+  undo_tie(nl, undo);
+  nl.check();
+  ASSERT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.outputs()[0], o);
+  EXPECT_EQ(nl.find("g"), g);
+}
+
+// ---- PowerTracker ----------------------------------------------------------
+
+TEST(PowerTracker, MatchesAnalyzeThroughHtInsertionAndDummies) {
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  const PowerModel pm = model();
+  const SalvageResult sal = salvage_power_area(original, suite, pm, {.pth = 0.992});
+  Netlist work = sal.modified;
+  PowerTracker tracker(work, pm);
+  {
+    const PowerReport full = pm.analyze(work).totals;
+    const PowerReport inc = tracker.totals();
+    EXPECT_NEAR(inc.dynamic_uw, full.dynamic_uw, 1e-9);
+    EXPECT_NEAR(inc.leakage_uw, full.leakage_uw, 1e-9);
+    EXPECT_NEAR(inc.area_ge, full.area_ge, 1e-9);
+  }
+  // Materialise a counter HT and resync: the tracker must agree with a
+  // from-scratch analysis including the DFF probability fixpoint.
+  const SignalProb sp(work);
+  const auto locations = payload_locations(work, 4);
+  ASSERT_FALSE(locations.empty());
+  const NodeId victim = locations[0];
+  const auto pool = trigger_pool(work, sp, 0.05, victim);
+  ASSERT_GE(pool.size(), 2u);
+  const std::size_t size_before = work.raw_size();
+  build_trojan(work, counter_trojan(3), pool, victim);
+  std::vector<NodeId> fresh;
+  for (NodeId id = static_cast<NodeId>(size_before); id < work.raw_size(); ++id) {
+    fresh.push_back(id);
+  }
+  std::vector<NodeId> cap_changed(pool.begin(), pool.begin() + 2);
+  cap_changed.push_back(victim);
+  tracker.resync(fresh, cap_changed);
+  {
+    const PowerReport full = pm.analyze(work).totals;
+    const PowerReport inc = tracker.totals();
+    EXPECT_NEAR(inc.dynamic_uw, full.dynamic_uw, 1e-9);
+    EXPECT_NEAR(inc.leakage_uw, full.leakage_uw, 1e-9);
+    EXPECT_NEAR(inc.area_ge, full.area_ge, 1e-9);
+  }
+  // And through a handful of dummy gates (tie-fed and PI-fed flavours).
+  for (int k = 0; k < 4; ++k) {
+    const std::size_t before = work.raw_size();
+    const NodeId src =
+        k % 2 ? work.const_node(false) : work.inputs()[k % work.inputs().size()];
+    add_dummy_gate(work, src, k % 2 ? GateType::Nand : GateType::Buf, "tz_dummy");
+    fresh.clear();
+    for (NodeId id = static_cast<NodeId>(before); id < work.raw_size(); ++id) {
+      fresh.push_back(id);
+    }
+    tracker.resync(fresh, {{src}});
+  }
+  const PowerReport full = pm.analyze(work).totals;
+  const PowerReport inc = tracker.totals();
+  EXPECT_NEAR(inc.dynamic_uw, full.dynamic_uw, 1e-9);
+  EXPECT_NEAR(inc.leakage_uw, full.leakage_uw, 1e-9);
+  EXPECT_NEAR(inc.area_ge, full.area_ge, 1e-9);
+}
+
+TEST(PowerTracker, RollbackRestoresRowsBitExact) {
+  Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  PowerTracker tracker(nl, pm);
+  const PowerReport before = tracker.totals();
+  tracker.begin();
+  const std::size_t size_before = nl.raw_size();
+  const NodeId src = nl.inputs()[0];
+  add_dummy_gate(nl, src, GateType::Xor, "tz_dummy");
+  std::vector<NodeId> fresh;
+  for (NodeId id = static_cast<NodeId>(size_before); id < nl.raw_size(); ++id) {
+    fresh.push_back(id);
+  }
+  tracker.resync(fresh, {{src}});
+  EXPECT_GT(tracker.totals().total_uw(), before.total_uw());
+  tracker.rollback();
+  for (NodeId id = static_cast<NodeId>(nl.raw_size()); id-- > size_before;) {
+    if (nl.is_alive(id)) nl.remove_node(id);
+  }
+  const PowerReport after = tracker.totals();
+  EXPECT_EQ(after.dynamic_uw, before.dynamic_uw);  // bit-exact, not NEAR
+  EXPECT_EQ(after.leakage_uw, before.leakage_uw);
+  EXPECT_EQ(after.area_ge, before.area_ge);
+}
+
+// ---- balance_with_dummies --------------------------------------------------
+
+TEST(BalanceWithDummies, NeverExceedsAnyComponentCap) {
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  const PowerModel pm = model();
+  const PowerReport threshold = pm.analyze(original).totals;
+  const SalvageResult sal = salvage_power_area(original, suite, pm, {.pth = 0.992});
+  Netlist work = sal.modified;
+  PowerTracker tracker(work, pm);
+  InsertionOptions opt;
+  const std::size_t added = balance_with_dummies(work, tracker, threshold, opt);
+  EXPECT_GT(added, 0u);
+  const PowerReport p = pm.analyze(work).totals;
+  EXPECT_LE(p.total_uw(), threshold.total_uw());
+  EXPECT_LE(p.dynamic_uw, threshold.dynamic_uw);
+  EXPECT_LE(p.leakage_uw, threshold.leakage_uw);
+  EXPECT_LE(p.area_ge, threshold.area_ge);
+  // Tracker stayed in sync through the whole loop.
+  EXPECT_NEAR(tracker.totals().total_uw(), p.total_uw(), 1e-9);
+}
+
+TEST(BalanceWithDummies, PicksFlavourByDeficitShape) {
+  const PowerModel pm = model();
+  auto first_dummy_fed_by_tie = [&](const PowerReport& threshold) {
+    Netlist nl = make_benchmark("c432");
+    PowerTracker tracker(nl, pm);
+    const std::size_t size_before = nl.raw_size();
+    InsertionOptions opt;
+    const std::size_t added = balance_with_dummies(nl, tracker, threshold, opt);
+    EXPECT_GT(added, 0u);
+    for (NodeId id = static_cast<NodeId>(size_before); id < nl.raw_size();
+         ++id) {
+      if (!nl.is_alive(id) || is_const(nl.node(id).type)) continue;
+      return is_const(nl.node(nl.node(id).fanin[0]).type);
+    }
+    ADD_FAILURE() << "no dummy placed";
+    return false;
+  };
+  const PowerReport base = pm.analyze(make_benchmark("c432")).totals;
+  // Leakage-shaped deficit (dp == dl): tie-fed gates top up leakage without
+  // burning the dynamic budget.
+  PowerReport leak_shape = base;
+  leak_shape.leakage_uw += 0.5;
+  leak_shape.area_ge += 50.0;
+  EXPECT_TRUE(first_dummy_fed_by_tie(leak_shape));
+  // Dynamic-shaped deficit (dp >> dl): PI-fed gates burn switching power.
+  // (A little leakage headroom is required — every cell leaks — but the
+  // dominant gap is dynamic, so the PI-fed menu leads.)
+  PowerReport dyn_shape = base;
+  dyn_shape.dynamic_uw += 1.0;
+  dyn_shape.leakage_uw += 0.1;
+  dyn_shape.area_ge += 50.0;
+  EXPECT_FALSE(first_dummy_fed_by_tie(dyn_shape));
+}
+
+// ---- Algorithm 2 cap regression (the headline bugfix) ----------------------
+
+TEST(Insertion, SuccessImpliesComponentwisePowerCaps) {
+  // The TrojanZero contract: N'' never exceeds N on total, dynamic or
+  // leakage power, or area. The pre-fix code let leakage drift to 1.02x and
+  // never checked dynamic at all.
+  for (const char* name : {"c432", "c499", "c880", "c1908", "c3540"}) {
+    const FlowResult r = run_trojanzero_flow(name);
+    ASSERT_TRUE(r.insertion.success) << name;
+    const PowerReport& p = r.insertion.power;
+    const PowerReport& t = r.insertion.threshold;
+    EXPECT_LE(p.total_uw(), t.total_uw()) << name;
+    EXPECT_LE(p.dynamic_uw, t.dynamic_uw) << name;
+    EXPECT_LE(p.leakage_uw, t.leakage_uw) << name;
+    EXPECT_LE(p.area_ge, t.area_ge) << name;
+  }
+}
+
+// ---- trigger pool invariants after the rewrite -----------------------------
+
+TEST(TriggerPool, RareListFilterMatchesAndStaysLoopFree) {
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite = make_defender_suite(original, defender_defaults());
+  const PowerModel pm = model();
+  const SalvageResult sal = salvage_power_area(original, suite, pm, {.pth = 0.992});
+  const Netlist& nprime = sal.modified;
+  const SignalProb sp(nprime);
+  const auto rare = rare_net_list(nprime, sp, 0.05);
+  ASSERT_FALSE(rare.empty());
+  for (std::size_t i = 1; i < rare.size(); ++i) {
+    EXPECT_LE(sp.p1(rare[i - 1]), sp.p1(rare[i]));
+  }
+  for (NodeId victim : payload_locations(nprime, 8)) {
+    const auto mask = downstream_mask(nprime, victim);
+    const auto pool = trigger_pool(nprime, sp, 0.05, victim);
+    // Never a net in the victim's transitive fanout (loop freedom)...
+    for (NodeId p : pool) EXPECT_FALSE(mask[p]);
+    // ...and exactly the rare list minus the masked nets, order preserved.
+    std::vector<NodeId> expect;
+    for (NodeId id : rare) {
+      if (!mask[id]) expect.push_back(id);
+    }
+    EXPECT_EQ(pool, expect);
+  }
+}
+
+// ---- consolidated collision-avoidance naming -------------------------------
+
+TEST(UniqueName, SharedSchemeHandlesCollisions) {
+  Netlist nl("names");
+  const NodeId a = nl.add_input("g");
+  EXPECT_EQ(nl.unique_name("h"), "h");
+  EXPECT_EQ(nl.unique_name("g"), "g_1");
+  nl.add_gate(GateType::Not, "g_1", {a});
+  EXPECT_EQ(nl.unique_name("g"), "g_2");
+  // build_trojan and add_dummy_gate derive names through the same utility:
+  // pre-existing collisions must not throw.
+  NodeId victim;
+  std::vector<NodeId> rare;
+  Netlist tb = test::payload_testbed(&victim, &rare);
+  tb.add_gate(GateType::Not, "ht_payload", {tb.inputs()[0]});
+  tb.mark_output(tb.find("ht_payload"));
+  const InsertedHT ht = build_trojan(tb, counter_trojan(2, 2), rare, victim);
+  EXPECT_EQ(tb.node(ht.payload_mux).name, "ht_payload_1");
+  const NodeId d1 = add_dummy_gate(tb, tb.inputs()[0], GateType::Buf, "dmy");
+  const NodeId d2 = add_dummy_gate(tb, tb.inputs()[0], GateType::Buf, "dmy");
+  EXPECT_EQ(tb.node(d1).name, "dmy");
+  EXPECT_EQ(tb.node(d2).name, "dmy_1");
+}
+
+}  // namespace
+}  // namespace tz

@@ -125,5 +125,38 @@ TEST(Flow, C17SmokeRun) {
   EXPECT_FALSE(r.insertion.success);
 }
 
+TEST(Flow, FailedInsertionReportsNoHtInsteadOfFabricatedRow) {
+  // A suite the insertion cannot beat: c17 has no rare-net pool, so every
+  // HT/location pair is structurally rejected. The flow must report zero
+  // trigger exposure (not Pft numbers computed from a default-constructed
+  // descriptor) and the Table I printer must say so.
+  FlowOptions opt;
+  opt.pth = 0.9;
+  opt.counter_bits = 2;
+  const FlowResult r = run_trojanzero_flow("c17", opt);
+  ASSERT_FALSE(r.insertion.success);
+  EXPECT_EQ(r.pft, 0.0);
+  EXPECT_EQ(r.pft_payload, 0.0);
+  EXPECT_EQ(r.p_npp.total_uw(), 0.0);
+  std::ostringstream os;
+  BenchmarkSpec spec;
+  spec.name = "c17";
+  print_table1_row(os, r, spec);
+  EXPECT_NE(os.str().find("no HT"), std::string::npos);
+  EXPECT_EQ(os.str().find("counter-"), std::string::npos);
+}
+
+TEST(Flow, StressBenchmarkC6288Runs) {
+  // The >2k-gate array multiplier: dense, fully testable arithmetic where
+  // the defender wins — salvage accepts nothing and the rare-net pool is too
+  // thin for a trigger — but the whole engine path must run cleanly.
+  const FlowResult r = run_trojanzero_flow("c6288");
+  EXPECT_GT(r.original.gate_count(), 2000u);
+  EXPECT_GT(r.atpg_coverage, 0.9);
+  EXPECT_FALSE(r.insertion.success);
+  EXPECT_EQ(r.pft, 0.0);
+  EXPECT_TRUE(functional_test(r.salvage.modified, r.suite));
+}
+
 }  // namespace
 }  // namespace tz

@@ -1,5 +1,7 @@
 // Functional tests for the benchmark circuit generators.
 #include <gtest/gtest.h>
+#include <cstdint>
+#include <random>
 #include <stdexcept>
 
 #include "gen/circuits.hpp"
@@ -234,6 +236,53 @@ TEST(AluBcd, AdderPathAdds) {
   int r = 0;
   for (int i = 0; i < 8; ++i) r |= out[i] << i;
   EXPECT_EQ(r, 0x21 + 0x13);
+}
+
+TEST(Mult16, RandomProductsMatchArithmetic) {
+  const Netlist nl = make_benchmark("c6288");
+  EXPECT_GT(nl.gate_count(), 2000u);  // the >2k-gate stress profile
+  ASSERT_EQ(nl.inputs().size(), 32u);
+  ASSERT_EQ(nl.outputs().size(), 32u);
+  std::mt19937_64 rng(0xC6288);
+  PatternSet ps(32, 128);
+  std::vector<std::uint32_t> a(128), b(128);
+  for (int p = 0; p < 128; ++p) {
+    a[p] = static_cast<std::uint32_t>(rng()) & 0xFFFF;
+    b[p] = static_cast<std::uint32_t>(rng()) & 0xFFFF;
+    for (int i = 0; i < 16; ++i) {
+      ps.set(p, i, (a[p] >> i) & 1);
+      ps.set(p, 16 + i, (b[p] >> i) & 1);
+    }
+  }
+  const PatternSet out = BitSimulator(nl).outputs(ps);
+  for (int p = 0; p < 128; ++p) {
+    std::uint64_t got = 0;
+    for (int o = 0; o < 32; ++o) {
+      got |= static_cast<std::uint64_t>(out.get(p, o)) << o;
+    }
+    EXPECT_EQ(got, static_cast<std::uint64_t>(a[p]) * b[p])
+        << a[p] << " * " << b[p];
+  }
+}
+
+TEST(Mult16, EdgeOperands) {
+  const Netlist nl = gen_mult16();
+  const auto mul = [&](std::uint32_t a, std::uint32_t b) {
+    std::vector<bool> in(32, false);
+    for (int i = 0; i < 16; ++i) {
+      in[i] = (a >> i) & 1;
+      in[16 + i] = (b >> i) & 1;
+    }
+    const auto out = eval_once(nl, in);
+    std::uint64_t r = 0;
+    for (int o = 0; o < 32; ++o) r |= static_cast<std::uint64_t>(out[o]) << o;
+    return r;
+  };
+  EXPECT_EQ(mul(0, 0), 0u);
+  EXPECT_EQ(mul(0xFFFF, 0xFFFF), 0xFFFFull * 0xFFFF);
+  EXPECT_EQ(mul(0xFFFF, 1), 0xFFFFull);
+  EXPECT_EQ(mul(1, 0x8000), 0x8000ull);
+  EXPECT_EQ(mul(0x8000, 0x8000), 0x8000ull * 0x8000);
 }
 
 TEST(C432Redundancy, ConsensusTermsAreAbsorbed) {
