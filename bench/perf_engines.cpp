@@ -186,6 +186,50 @@ BENCHMARK_CAPTURE(BM_InsertTrojan, c6288, "c6288",
                                        .rare_p1 = 0.25})
     ->Unit(benchmark::kMillisecond);
 
+// Parallel per-victim screening scan on the multiplier stress: the suite
+// verdicts for every payload location are judged concurrently on the shared
+// oracle core (one ConeScratch per worker), then reduced in canonical order.
+// threads:1 is the sequential baseline; results are bit-identical at every
+// row (see flow_engine_test ParallelScan).
+void BM_InsertTrojanParallel(benchmark::State& state) {
+  const FlowFixture& f = flow_fixture("c6288");
+  tz::InsertionOptions iopt{.library = {tz::counter_trojan(5),
+                                        tz::counter_trojan(3)},
+                            .rare_p1 = 0.25};
+  iopt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tz::insert_trojan(f.nl, f.salvage, f.suite, f.pm, iopt));
+  }
+}
+BENCHMARK(BM_InsertTrojanParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// Parallel speculative tie screening on the same circuit: batches of
+// upcoming Algorithm 1 candidates are judged concurrently, consumed in
+// canonical order up to the first accept.
+void BM_SalvageFlowParallel(benchmark::State& state) {
+  const FlowFixture& f = flow_fixture("c6288");
+  tz::SalvageOptions sopt = f.sopt;
+  sopt.threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tz::salvage_power_area(f.nl, f.suite, f.pm, sopt));
+  }
+}
+BENCHMARK(BM_SalvageFlowParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_FullTrojanZeroFlow(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(tz::run_trojanzero_flow("c432"));

@@ -2,13 +2,21 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
+#include <stdexcept>
+#include <string>
 
 #include "core/ht_library.hpp"
 #include "prob/signal_prob.hpp"
 #include "sim/gate_eval.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tz {
+
+// --------------------------------------------------------------- ConeScratch
+
+ConeScratch::ConeScratch(const SuiteOracle& core) : worklist_(core.rank_) {}
 
 // --------------------------------------------------------------- SuiteOracle
 
@@ -33,150 +41,160 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
     rank_[order[i]] = static_cast<std::uint32_t>(i);
   }
   recorded_po_ = nl.outputs();
-  sets_.reserve(suite.algorithms.size());
+
+  // Fused layout: every non-empty set occupies a contiguous word range of
+  // one node-major row, so a single cone pass judges the whole suite. Tail
+  // bits inside the row (each set's last-word padding) are masked by valid_.
+  segs_.reserve(suite.algorithms.size());
   for (const DefenderTestSet& ts : suite.algorithms) {
-    SetCache sc;
-    sc.words = ts.patterns.num_words();
-    sc.patterns = ts.patterns.num_patterns();
-    sc.tail = ts.patterns.tail_mask();
-    stride_ = std::max(stride_, sc.words);
-    if (sc.patterns > 0) {
-      const NodeValues vals = sim.run(ts.patterns);
-      sc.rows.assign(cap_ * sc.words, 0);
-      for (NodeId id = 0; id < cap_; ++id) {
-        if (!nl.is_alive(id)) continue;
-        const std::uint64_t* src = vals.row(id);
-        std::copy(src, src + sc.words, sc.rows.data() + id * sc.words);
-      }
-      sc.golden.assign(recorded_po_.size() * sc.words, 0);
-      for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
-        const auto g = ts.golden.words(o);
-        std::copy(g.begin(), g.end(), sc.golden.data() + o * sc.words);
-      }
-    }
-    sets_.push_back(std::move(sc));
+    if (ts.patterns.num_patterns() == 0) continue;
+    SetSegment sg;
+    sg.offset = words_;
+    sg.words = ts.patterns.num_words();
+    sg.patterns = ts.patterns.num_patterns();
+    words_ += sg.words;
+    segs_.push_back(sg);
   }
-  scratch_.assign(cap_ * stride_, 0);
-  touched_.assign(cap_, 0);
-  worklist_.resize(cap_);
+  valid_.assign(words_, ~std::uint64_t{0});
+  rows_.assign(cap_ * words_, 0);
+  golden_.assign(recorded_po_.size() * words_, 0);
+  std::size_t seg = 0;
+  for (const DefenderTestSet& ts : suite.algorithms) {
+    if (ts.patterns.num_patterns() == 0) continue;
+    const SetSegment& sg = segs_[seg++];
+    valid_[sg.offset + sg.words - 1] = ts.patterns.tail_mask();
+    const NodeValues vals = sim.run(ts.patterns);
+    for (NodeId id = 0; id < cap_; ++id) {
+      if (!nl.is_alive(id)) continue;
+      const std::uint64_t* src = vals.row(id);
+      std::copy(src, src + sg.words,
+                rows_.data() + static_cast<std::size_t>(id) * words_ +
+                    sg.offset);
+    }
+    for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
+      const auto g = ts.golden.words(o);
+      std::copy(g.begin(), g.end(), golden_.data() + o * words_ + sg.offset);
+    }
+  }
 }
 
 void SuiteOracle::grow() {
   const std::size_t n = nl_->raw_size();
   if (n <= cap_) return;
-  for (SetCache& sc : sets_) {
-    if (sc.patterns == 0) continue;
-    sc.rows.resize(n * sc.words, 0);
-    for (NodeId id = static_cast<NodeId>(cap_); id < n; ++id) {
-      // Tie cells are the only new nodes oracle queries ever read (HT and
-      // dummy gates are judged before materialisation / have no readers).
-      if (nl_->is_alive(id) && nl_->node(id).type == GateType::Const1) {
-        std::fill_n(sc.rows.data() + static_cast<std::size_t>(id) * sc.words,
-                    sc.words, ~std::uint64_t{0});
-      }
+  rows_.resize(n * words_, 0);
+  for (NodeId id = static_cast<NodeId>(cap_); id < n; ++id) {
+    // Tie cells are the only new nodes oracle queries ever read (HT and
+    // dummy gates are judged before materialisation / have no readers).
+    if (nl_->is_alive(id) && nl_->node(id).type == GateType::Const1) {
+      std::fill_n(rows_.data() + static_cast<std::size_t>(id) * words_,
+                  words_, ~std::uint64_t{0});
     }
   }
   rank_.resize(n, 0);  // new nodes are sources here; never scheduled
-  scratch_.resize(n * stride_, 0);
-  touched_.resize(n, 0);
-  worklist_.resize(n);
   cap_ = n;
 }
 
-void SuiteOracle::schedule(NodeId id) {
+void SuiteOracle::ensure_scratch(ConeScratch& cs) const {
+  if (cs.rows_.size() < cap_ * words_) cs.rows_.resize(cap_ * words_, 0);
+  if (cs.touched_.size() < cap_) cs.touched_.resize(cap_, 0);
+  cs.worklist_.resize(cap_);
+}
+
+void SuiteOracle::schedule(NodeId id, ConeScratch& cs) const {
   if (!nl_->is_alive(id)) return;
   const GateType t = nl_->node(id).type;
   if (t == GateType::Dff || t == GateType::Input) return;
-  worklist_.push(id);
+  cs.worklist_.push(id);
 }
 
-bool SuiteOracle::run_cone(SetCache& sc, bool fold) {
+bool SuiteOracle::propagate(ConeScratch& cs) const {
   const auto get = [&](NodeId f) -> const std::uint64_t* {
-    return touched_[f] ? scratch_row(f) : cached_row(sc, f);
+    return cs.touched_[f] ? scratch_row(cs, f) : cached_row(f);
   };
   // The worklist pops in topological order, so every touched fanin is final
   // by the time a gate evaluates; a gate whose row matches the cache on all
-  // valid lanes generates no further events.
-  while (!worklist_.empty()) {
-    const NodeId id = worklist_.pop();
-    std::uint64_t* out = scratch_row(id);
-    eval_gate_row(nl_->node(id), sc.words, get, out);
-    const std::uint64_t* cr = cached_row(sc, id);
+  // valid lanes (of every set at once) generates no further events.
+  while (!cs.worklist_.empty()) {
+    const NodeId id = cs.worklist_.pop();
+    std::uint64_t* out = scratch_row(cs, id);
+    eval_gate_row(nl_->node(id), words_, get, out);
+    const std::uint64_t* cr = cached_row(id);
     std::uint64_t changed = 0;
-    for (std::size_t w = 0; w < sc.words; ++w) {
-      std::uint64_t diff = out[w] ^ cr[w];
-      if (w + 1 == sc.words) diff &= sc.tail;
-      changed |= diff;
+    for (std::size_t w = 0; w < words_; ++w) {
+      changed |= (out[w] ^ cr[w]) & valid_[w];
     }
     if (!changed) continue;
-    touched_[id] = 1;
-    visited_.push_back(id);
-    for (NodeId r : nl_->node(id).fanout) schedule(r);
+    cs.touched_[id] = 1;
+    cs.visited_.push_back(id);
+    for (NodeId r : nl_->node(id).fanout) schedule(r, cs);
   }
 
-  bool any = false;
-  for (std::size_t o = 0; o < recorded_po_.size() && !any; ++o) {
+  for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
     const NodeId cur = nl_->outputs()[o];
-    if (!touched_[cur] && cur == recorded_po_[o]) continue;
+    if (!cs.touched_[cur] && cur == recorded_po_[o]) continue;
     const std::uint64_t* got =
-        touched_[cur] ? scratch_row(cur) : cached_row(sc, cur);
-    const std::uint64_t* want =
-        sc.golden.data() + o * sc.words;
-    for (std::size_t w = 0; w < sc.words; ++w) {
-      std::uint64_t diff = got[w] ^ want[w];
-      if (w + 1 == sc.words) diff &= sc.tail;
-      if (diff) {
-        any = true;
-        break;
-      }
+        cs.touched_[cur] ? scratch_row(cs, cur) : cached_row(cur);
+    const std::uint64_t* want = golden_.data() + o * words_;
+    for (std::size_t w = 0; w < words_; ++w) {
+      if ((got[w] ^ want[w]) & valid_[w]) return true;
     }
-  }
-  if (fold && !any) {
-    for (NodeId id : visited_) {
-      std::copy(scratch_row(id), scratch_row(id) + sc.words,
-                sc.rows.data() + static_cast<std::size_t>(id) * sc.words);
-    }
-  }
-  for (NodeId id : visited_) touched_[id] = 0;
-  visited_.clear();
-  return any;
-}
-
-bool SuiteOracle::check_tie(NodeId target, bool value, bool fold) {
-  grow();
-  const std::uint64_t cval = value ? ~std::uint64_t{0} : 0;
-  for (SetCache& sc : sets_) {
-    if (sc.patterns == 0) continue;
-    // Excitation fast path: the tied node already evaluated to the constant
-    // on every pattern of this set — nothing downstream can change.
-    {
-      const std::uint64_t* tr = cached_row(sc, target);
-      std::uint64_t diff = 0;
-      for (std::size_t w = 0; w < sc.words; ++w) {
-        std::uint64_t d = tr[w] ^ cval;
-        if (w + 1 == sc.words) d &= sc.tail;
-        diff |= d;
-      }
-      if (!diff) continue;
-    }
-    // Force the constant at the target and re-evaluate its readers: exactly
-    // the function the netlist computes once the tie is applied.
-    std::uint64_t* fr = scratch_row(target);
-    std::fill_n(fr, sc.words, cval);
-    touched_[target] = 1;
-    visited_.push_back(target);
-    for (NodeId r : nl_->node(target).fanout) schedule(r);
-    if (run_cone(sc, fold)) return true;
   }
   return false;
 }
 
+void SuiteOracle::clear_marks(ConeScratch& cs) const {
+  for (NodeId id : cs.visited_) cs.touched_[id] = 0;
+  cs.visited_.clear();
+}
+
+bool SuiteOracle::seed_tie(NodeId target, bool value, ConeScratch& cs) const {
+  const std::uint64_t cval = value ? ~std::uint64_t{0} : 0;
+  // Excitation fast path: the tied node already evaluated to the constant
+  // on every valid lane of every set — nothing downstream can change.
+  const std::uint64_t* tr = cached_row(target);
+  std::uint64_t diff = 0;
+  for (std::size_t w = 0; w < words_; ++w) diff |= (tr[w] ^ cval) & valid_[w];
+  if (!diff) return false;
+  // Force the constant at the target and re-evaluate its readers: exactly
+  // the function the netlist computes once the tie is applied.
+  std::fill_n(scratch_row(cs, target), words_, cval);
+  cs.touched_[target] = 1;
+  cs.visited_.push_back(target);
+  for (NodeId r : nl_->node(target).fanout) schedule(r, cs);
+  return true;
+}
+
+bool SuiteOracle::tie_visible(NodeId target, bool value,
+                              ConeScratch& cs) const {
+  ensure_scratch(cs);
+  if (words_ == 0) return false;
+  if (!seed_tie(target, value, cs)) return false;
+  const bool any = propagate(cs);
+  clear_marks(cs);
+  return any;
+}
+
 bool SuiteOracle::tie_visible(NodeId target, bool value) {
-  return check_tie(target, value, /*fold=*/false);
+  grow();
+  return static_cast<const SuiteOracle&>(*this).tie_visible(target, value,
+                                                            self_);
 }
 
 void SuiteOracle::commit_tie(NodeId target, bool value) {
-  check_tie(target, value, /*fold=*/true);
+  grow();
+  ConeScratch& cs = self_;
+  ensure_scratch(cs);
+  if (words_ == 0) return;
+  if (!seed_tie(target, value, cs)) return;
+  if (!propagate(cs)) {
+    // Invisible as promised: fold the deviating rows into the cache so later
+    // candidates are judged against the updated netlist.
+    for (NodeId id : cs.visited_) {
+      std::copy(scratch_row(cs, id), scratch_row(cs, id) + words_,
+                rows_.data() + static_cast<std::size_t>(id) * words_);
+    }
+  }
+  clear_marks(cs);
 }
 
 void SuiteOracle::resync_structure() {
@@ -185,47 +203,71 @@ void SuiteOracle::resync_structure() {
   recorded_po_ = nl_->outputs();
 }
 
+bool SuiteOracle::payload_fires(std::span<const NodeId> trigger_nets,
+                                int counter_bits, ConeScratch& cs) const {
+  // Trigger condition per pattern: AND over the tapped rare nets.
+  cs.trig_.assign(words_, ~std::uint64_t{0});
+  for (NodeId r : trigger_nets) {
+    const std::uint64_t* row = cached_row(r);
+    for (std::size_t w = 0; w < words_; ++w) cs.trig_[w] &= row[w];
+  }
+  for (std::size_t w = 0; w < words_; ++w) cs.trig_[w] &= valid_[w];
+  // Payload-enable per pattern. A comparator HT fires with the trigger; a
+  // counter HT is replayed cycle by cycle from reset — once per test set,
+  // exactly as the defender's tester streams each algorithm's patterns
+  // (functional_test's CycleSimulator semantics: S' = S + trigger, fire when
+  // saturated).
+  if (counter_bits == 0) {
+    cs.fire_ = cs.trig_;
+  } else {
+    cs.fire_.assign(words_, 0);
+    const std::uint64_t full = (std::uint64_t{1} << counter_bits) - 1;
+    for (const SetSegment& sg : segs_) {
+      std::uint64_t state = 0;
+      for (std::size_t p = 0; p < sg.patterns; ++p) {
+        const std::size_t w = sg.offset + (p >> 6);
+        if (state == full) cs.fire_[w] |= std::uint64_t{1} << (p & 63);
+        if ((cs.trig_[w] >> (p & 63)) & 1) state = (state + 1) & full;
+      }
+    }
+  }
+  std::uint64_t any_fire = 0;
+  for (std::uint64_t w : cs.fire_) any_fire |= w;
+  return any_fire != 0;
+}
+
+bool SuiteOracle::ht_visible(std::span<const NodeId> trigger_nets,
+                             int counter_bits, NodeId victim,
+                             ConeScratch& cs) const {
+  if (counter_bits < 0 || counter_bits > 63) {
+    // Same shift-UB class analytic_pft guards against: payload_fires
+    // computes the saturation count in 64 bits. Checked before the
+    // empty-suite early return so the contract holds on every suite.
+    throw std::invalid_argument(
+        "SuiteOracle::ht_visible: counter_bits must be in [0,63]");
+  }
+  ensure_scratch(cs);
+  if (words_ == 0) return false;
+  // Dormant throughout every pattern stream: undetectable.
+  if (!payload_fires(trigger_nets, counter_bits, cs)) return false;
+  // The payload MUX rewires the victim's readers to v XOR fire; propagate
+  // the masked deviation through the victim's fanout cone.
+  std::uint64_t* fr = scratch_row(cs, victim);
+  const std::uint64_t* vr = cached_row(victim);
+  for (std::size_t w = 0; w < words_; ++w) fr[w] = vr[w] ^ cs.fire_[w];
+  cs.touched_[victim] = 1;
+  cs.visited_.push_back(victim);
+  for (NodeId r : nl_->node(victim).fanout) schedule(r, cs);
+  const bool any = propagate(cs);
+  clear_marks(cs);
+  return any;
+}
+
 bool SuiteOracle::ht_visible(std::span<const NodeId> trigger_nets,
                              int counter_bits, NodeId victim) {
   grow();
-  for (SetCache& sc : sets_) {
-    if (sc.patterns == 0) continue;
-    // Trigger condition per pattern: AND over the tapped rare nets.
-    trig_.assign(sc.words, ~std::uint64_t{0});
-    for (NodeId r : trigger_nets) {
-      const std::uint64_t* row = cached_row(sc, r);
-      for (std::size_t w = 0; w < sc.words; ++w) trig_[w] &= row[w];
-    }
-    trig_[sc.words - 1] &= sc.tail;
-    // Payload-enable per pattern. A comparator HT fires with the trigger; a
-    // counter HT is replayed cycle by cycle from reset, exactly as the
-    // defender's tester streams the patterns (functional_test's
-    // CycleSimulator semantics: S' = S + trigger, fire when saturated).
-    if (counter_bits == 0) {
-      fire_ = trig_;
-    } else {
-      fire_.assign(sc.words, 0);
-      unsigned state = 0;
-      const unsigned full = (1u << counter_bits) - 1;
-      for (std::size_t p = 0; p < sc.patterns; ++p) {
-        if (state == full) fire_[p >> 6] |= std::uint64_t{1} << (p & 63);
-        if ((trig_[p >> 6] >> (p & 63)) & 1) state = (state + 1) & full;
-      }
-    }
-    std::uint64_t any_fire = 0;
-    for (std::uint64_t w : fire_) any_fire |= w;
-    if (!any_fire) continue;  // dormant throughout the stream: undetectable
-    // The payload MUX rewires the victim's readers to v XOR fire; propagate
-    // the masked deviation through the victim's fanout cone.
-    std::uint64_t* fr = scratch_row(victim);
-    const std::uint64_t* vr = cached_row(sc, victim);
-    for (std::size_t w = 0; w < sc.words; ++w) fr[w] = vr[w] ^ fire_[w];
-    touched_[victim] = 1;
-    visited_.push_back(victim);
-    for (NodeId r : nl_->node(victim).fanout) schedule(r);
-    if (run_cone(sc, /*fold=*/false)) return true;
-  }
-  return false;
+  return static_cast<const SuiteOracle&>(*this).ht_visible(
+      trigger_nets, counter_bits, victim, self_);
 }
 
 // ---------------------------------------------------------------- FlowEngine
@@ -250,12 +292,24 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
   }
 
   SuiteOracle oracle(work, *suite_);
-  for (const Candidate& c : cands) {
-    if (!work.is_alive(c.node)) continue;  // removed with an earlier cone
+
+  // Fold one accepted (invisible) candidate into the cache and the netlist.
+  const auto accept = [&](const Candidate& c) {
     const std::string name = work.node(c.node).name;
-    if (oracle.sequential()) {
-      // Sequential fallback: apply, stream the full suite, revert through
-      // the tie's undo log (Algorithm 1 line 20) when caught.
+    oracle.commit_tie(c.node, c.tie_value);
+    const TieResult tie = tie_to_constant(work, c.node, c.tie_value);
+    oracle.resync_structure();
+    result.accepted.push_back(
+        {name, c.tie_value, c.probability, tie.gates_removed});
+    result.expendable_gates += tie.gates_removed;
+  };
+
+  if (oracle.sequential()) {
+    // Sequential fallback: apply, stream the full suite, revert through
+    // the tie's undo log (Algorithm 1 line 20) when caught.
+    for (const Candidate& c : cands) {
+      if (!work.is_alive(c.node)) continue;  // removed with an earlier cone
+      const std::string name = work.node(c.node).name;
       TieUndo undo;
       const TieResult tie = tie_to_constant(work, c.node, c.tie_value, &undo);
       if (functional_test(work, *suite_)) {
@@ -266,21 +320,68 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
         undo_tie(work, undo);
         ++result.rejected;
       }
-      continue;
     }
-    // Oracle path: judge the candidate on the cached rows before touching
+  } else if (const std::size_t threads =
+                 std::min(resolve_threads(opt.threads), cands.size());
+             threads <= 1) {
+    // Oracle path: judge each candidate on the cached rows before touching
     // the netlist — a rejected tie costs one fanout-cone re-simulation and
     // leaves no structural trace at all.
-    if (oracle.tie_visible(c.node, c.tie_value)) {
-      ++result.rejected;
-      continue;
+    for (const Candidate& c : cands) {
+      if (!work.is_alive(c.node)) continue;
+      if (oracle.tie_visible(c.node, c.tie_value)) {
+        ++result.rejected;
+        continue;
+      }
+      accept(c);
     }
-    oracle.commit_tie(c.node, c.tie_value);
-    const TieResult tie = tie_to_constant(work, c.node, c.tie_value);
-    oracle.resync_structure();
-    result.accepted.push_back(
-        {name, c.tie_value, c.probability, tie.gates_removed});
-    result.expendable_gates += tie.gates_removed;
+  } else {
+    // Parallel speculative screening. Tie verdicts are pure functions of the
+    // current netlist, so a batch of upcoming candidates is judged
+    // concurrently against the shared core; the verdicts are then consumed
+    // in canonical candidate order. Rejects leave the baseline untouched, so
+    // their speculative verdicts stay valid; the first accept mutates the
+    // netlist, invalidating the rest of the batch, which is re-screened —
+    // bit-identical to the sequential scan at any thread count.
+    ThreadPool pool(threads);
+    std::vector<ConeScratch> scratch;
+    scratch.reserve(pool.size());
+    for (std::size_t w = 0; w < pool.size(); ++w) scratch.emplace_back(oracle);
+    const std::size_t batch_cap = std::max<std::size_t>(pool.size() * 4, 8);
+    std::vector<std::size_t> batch;
+    std::vector<char> visible;
+    std::size_t next = 0;
+    while (next < cands.size()) {
+      batch.clear();
+      std::size_t scan = next;
+      while (scan < cands.size() && batch.size() < batch_cap) {
+        // Dead candidates (removed with an earlier accepted cone) can never
+        // come back during salvage: skipping them here matches the
+        // sequential scan's `continue`.
+        if (work.is_alive(cands[scan].node)) batch.push_back(scan);
+        ++scan;
+      }
+      if (batch.empty()) break;
+      visible.assign(batch.size(), 0);
+      pool.parallel_for(
+          batch.size(), [&](std::size_t k, std::size_t w) {
+            const Candidate& c = cands[batch[k]];
+            visible[k] =
+                oracle.tie_visible(c.node, c.tie_value, scratch[w]) ? 1 : 0;
+          });
+      bool accepted = false;
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        if (visible[k]) {
+          ++result.rejected;
+          continue;
+        }
+        accept(cands[batch[k]]);
+        next = batch[k] + 1;
+        accepted = true;
+        break;
+      }
+      if (!accepted) next = scan;
+    }
   }
 
   work = work.compact();
@@ -427,9 +528,12 @@ InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
   PowerTracker tracker(work, *pm_);
 
   // Rare-net pool per victim: the once-per-netlist rare list filtered by the
-  // victim's transitive-fanout mask (loop freedom). Computed lazily, once —
-  // the pool only depends on the victim, not on which HT is being tried, and
-  // rejected materialisations restore the structure the mask was built from.
+  // victim's transitive-fanout mask (loop freedom). Computed once — the pool
+  // only depends on the victim, not on which HT is being tried, and rejected
+  // materialisations restore the structure the mask was built from. In the
+  // parallel scan the pools for every victim are built concurrently (one
+  // victim per slot, so the writes never alias); the sequential scan keeps
+  // building them lazily.
   std::vector<std::vector<NodeId>> pools(locations.size());
   std::vector<char> pool_built(locations.size(), 0);
   const auto pool_for = [&](std::size_t v) -> const std::vector<NodeId>& {
@@ -443,92 +547,160 @@ InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
     return pools[v];
   };
 
+  const std::size_t threads =
+      oracle.sequential()
+          ? 1
+          : std::min(resolve_threads(opt.threads), locations.size());
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<ConeScratch> scratch;
+  if (threads > 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    scratch.reserve(pool->size());
+    for (std::size_t w = 0; w < pool->size(); ++w) scratch.emplace_back(oracle);
+  }
+
   std::vector<NodeId> fresh;
+  // One victim trial of the canonical walk (Algorithm 2's inner loop). With
+  // `prejudged`, the suite verdict was already computed speculatively and
+  // `visible` holds it; otherwise the oracle (or the sequential
+  // functional_test fallback) judges inline. Returns true when the HT
+  // landed and `result` is complete.
+  const auto try_victim = [&](std::size_t v, const TrojanDesc& desc,
+                              bool prejudged, bool visible) -> bool {
+    const NodeId victim = locations[v];
+    ++result.tried_locations;
+    const std::vector<NodeId>& vpool = pool_for(v);
+    if (vpool.size() < static_cast<std::size_t>(desc.trigger_width)) {
+      ++result.fail_build;
+      return false;
+    }
+
+    // Defender validation (Algorithm 2 lines 3-7) — before materialising
+    // when the oracle applies.
+    if (prejudged) {
+      if (visible) {
+        ++result.fail_test;
+        return false;
+      }
+    } else if (!oracle.sequential() &&
+               oracle.ht_visible(
+                   std::span<const NodeId>(
+                       vpool.data(),
+                       static_cast<std::size_t>(desc.trigger_width)),
+                   desc.counter_bits, victim)) {
+      ++result.fail_test;
+      return false;
+    }
+
+    const std::size_t size_before = work.raw_size();
+    const std::vector<NodeId> readers = work.node(victim).fanout;
+    InsertedHT ht;
+    try {
+      ht = build_trojan(work, desc, vpool, victim);
+    } catch (const std::exception&) {
+      ++result.fail_build;
+      // A throw can land after gates were added (work is shared across
+      // candidates, unlike the old fresh-copy-per-trial): sweep the
+      // half-built structure back out.
+      unbuild_trojan(work, victim, readers, size_before);
+      return false;  // structural rejection (loop, arity, ...)
+    }
+    if (oracle.sequential() && !functional_test(work, *suite_)) {
+      ++result.fail_test;
+      unbuild_trojan(work, victim, readers, size_before);
+      return false;
+    }
+
+    // Power/area caps (lines 11-13) on tracker deltas instead of a
+    // from-scratch analyze.
+    tracker.begin();
+    fresh.clear();
+    for (NodeId id = static_cast<NodeId>(size_before); id < work.raw_size();
+         ++id) {
+      fresh.push_back(id);
+    }
+    std::vector<NodeId> cap_changed(
+        vpool.begin(), vpool.begin() + desc.trigger_width);
+    cap_changed.push_back(victim);
+    tracker.resync(fresh, cap_changed);
+    if (!caps_ok(tracker.totals(), result.threshold)) {
+      ++result.fail_caps;
+      tracker.rollback();
+      unbuild_trojan(work, victim, readers, size_before);
+      return false;  // this HT at this location breaks a cap -> next location
+    }
+    tracker.commit();
+    const std::size_t dummies =
+        balance_with_dummies(work, tracker, result.threshold, opt);
+
+    result.success = true;
+    result.ht = ht;
+    result.ht_desc = desc;
+    result.ht_name = desc.name;
+    result.victim_name = work.node(victim).name;
+    result.dummy_gates = dummies;
+    // One full analysis for the report keeps the published numbers
+    // bit-identical with PowerModel::analyze of the final netlist.
+    result.power = pm_->analyze(work).totals;
+    result.infected = std::move(work);
+    {
+      // Analytic per-cycle trigger probability: product over trigger nets.
+      double q = 1.0;
+      int used = 0;
+      for (NodeId r : vpool) {
+        if (used++ >= desc.trigger_width) break;
+        q *= sp.p1(r);
+      }
+      result.trigger_p1 = q;
+    }
+    return true;
+  };
+
+  // Speculative per-victim verdicts, one bounded batch at a time (the
+  // common case succeeds at an early victim, so screening everything up
+  // front would waste whole cone passes). Visibility is judged before
+  // materialisation against the unmutated baseline, and rejected
+  // materialisations (caps, build throws) restore that baseline, so a
+  // batch's verdicts stay valid for its whole canonical walk. The walk
+  // re-derives the pool-size rejection itself, so a too-small pool just
+  // skips the oracle call and stays kPass.
+  enum : signed char { kPass = 0, kVisible = 1 };
+  std::vector<signed char> verdict;
+
   for (const TrojanDesc& desc : library) {
     ++result.tried_hts;
-    for (std::size_t v = 0; v < locations.size(); ++v) {
-      const NodeId victim = locations[v];
-      ++result.tried_locations;
-      const std::vector<NodeId>& pool = pool_for(v);
-      if (pool.size() < static_cast<std::size_t>(desc.trigger_width)) {
-        ++result.fail_build;
-        continue;
+    if (!pool) {
+      for (std::size_t v = 0; v < locations.size(); ++v) {
+        if (try_victim(v, desc, /*prejudged=*/false, false)) return result;
       }
-
-      // Defender validation (Algorithm 2 lines 3-7) — before materialising
-      // when the oracle applies.
-      if (!oracle.sequential() &&
-          oracle.ht_visible(
-              std::span<const NodeId>(pool.data(),
-                                      static_cast<std::size_t>(
-                                          desc.trigger_width)),
-              desc.counter_bits, victim)) {
-        ++result.fail_test;
-        continue;
-      }
-
-      const std::size_t size_before = work.raw_size();
-      const std::vector<NodeId> readers = work.node(victim).fanout;
-      InsertedHT ht;
-      try {
-        ht = build_trojan(work, desc, pool, victim);
-      } catch (const std::exception&) {
-        ++result.fail_build;
-        // A throw can land after gates were added (work is shared across
-        // candidates, unlike the old fresh-copy-per-trial): sweep the
-        // half-built structure back out.
-        unbuild_trojan(work, victim, readers, size_before);
-        continue;  // structural rejection (loop, arity, ...)
-      }
-      if (oracle.sequential() && !functional_test(work, *suite_)) {
-        ++result.fail_test;
-        unbuild_trojan(work, victim, readers, size_before);
-        continue;
-      }
-
-      // Power/area caps (lines 11-13) on tracker deltas instead of a
-      // from-scratch analyze.
-      tracker.begin();
-      fresh.clear();
-      for (NodeId id = static_cast<NodeId>(size_before); id < work.raw_size();
-           ++id) {
-        fresh.push_back(id);
-      }
-      std::vector<NodeId> cap_changed(
-          pool.begin(), pool.begin() + desc.trigger_width);
-      cap_changed.push_back(victim);
-      tracker.resync(fresh, cap_changed);
-      if (!caps_ok(tracker.totals(), result.threshold)) {
-        ++result.fail_caps;
-        tracker.rollback();
-        unbuild_trojan(work, victim, readers, size_before);
-        continue;  // this HT at this location breaks a cap -> next location
-      }
-      tracker.commit();
-      const std::size_t dummies =
-          balance_with_dummies(work, tracker, result.threshold, opt);
-
-      result.success = true;
-      result.ht = ht;
-      result.ht_desc = desc;
-      result.ht_name = desc.name;
-      result.victim_name = work.node(victim).name;
-      result.dummy_gates = dummies;
-      // One full analysis for the report keeps the published numbers
-      // bit-identical with PowerModel::analyze of the final netlist.
-      result.power = pm_->analyze(work).totals;
-      result.infected = std::move(work);
-      {
-        // Analytic per-cycle trigger probability: product over trigger nets.
-        double q = 1.0;
-        int used = 0;
-        for (NodeId r : pool) {
-          if (used++ >= desc.trigger_width) break;
-          q *= sp.p1(r);
+      continue;
+    }
+    const std::size_t batch_cap = std::max<std::size_t>(pool->size() * 2, 4);
+    std::size_t v = 0;
+    while (v < locations.size()) {
+      const std::size_t end = std::min(locations.size(), v + batch_cap);
+      oracle.resync_structure();  // cover nodes added by earlier rollbacks
+      verdict.assign(end - v, kPass);
+      pool->parallel_for(
+          end - v, [&](std::size_t k, std::size_t w) {
+            const std::vector<NodeId>& p = pool_for(v + k);
+            if (p.size() < static_cast<std::size_t>(desc.trigger_width)) {
+              return;
+            }
+            verdict[k] =
+                oracle.ht_visible(
+                    std::span<const NodeId>(
+                        p.data(),
+                        static_cast<std::size_t>(desc.trigger_width)),
+                    desc.counter_bits, locations[v + k], scratch[w])
+                    ? kVisible
+                    : kPass;
+          });
+      for (std::size_t k = 0; v < end; ++v, ++k) {
+        if (try_victim(v, desc, /*prejudged=*/true, verdict[k] == kVisible)) {
+          return result;
         }
-        result.trigger_p1 = q;
       }
-      return result;
     }
   }
   return result;  // success = false

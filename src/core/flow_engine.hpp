@@ -4,13 +4,26 @@
 // power analysis for every candidate edit — O(candidates × netlist). The
 // FlowEngine replaces both hot paths with incremental machinery:
 //
-//  - SuiteOracle caches the per-test-set good-value rows of the current work
-//    netlist and re-simulates only the structural fanout cone of an edit
+//  - SuiteOracle caches the good-value rows of the current work netlist for
+//    every defender test set in one fused node-major layout (all sets
+//    concatenated per row, invalid tail lanes masked), and re-simulates only
+//    the structural fanout cone of an edit in a single multi-set pass
 //    (event-driven over a topological-rank worklist, reusing the
 //    sim/gate_eval.hpp kernels), comparing just the cone-reachable outputs
 //    against the cached golden responses. A tie candidate costs O(cone); an
 //    HT candidate is judged *before* it is materialised by replaying its
 //    trigger/counter against the cached rows of the rare nets it would tap.
+//
+//    The oracle is split into an immutable shared core (cached rows, golden
+//    responses, validity masks, topological ranks) and a per-thread
+//    ConeScratch (worklist, forced-value rows, visited marks): the const
+//    judging API is safe to call concurrently from many threads as long as
+//    each call gets its own scratch and nothing mutates the netlist or the
+//    core. Both candidate scans exploit this — tie and HT visibility are
+//    judged before any mutation, so FlowEngine screens candidates in
+//    parallel on a util/thread_pool.hpp pool and reduces the verdicts in
+//    canonical candidate order, which keeps the flow bit-identical to the
+//    sequential scan at every thread count.
 //
 //  - PowerTracker (tech/power_tracker.hpp) keeps per-node power/area rows
 //    and applies add-gate / remove-gate / splice deltas, so the Algorithm 2
@@ -40,29 +53,52 @@
 
 namespace tz {
 
+class SuiteOracle;
+
+/// Per-thread mutable state for SuiteOracle's const judging calls: the rank
+/// worklist, forced/re-evaluated scratch rows, touched marks and the
+/// trigger/fire replay rows. Construct one per worker from the oracle it
+/// will be used with; the oracle grows it on demand at each call.
+class ConeScratch {
+ public:
+  explicit ConeScratch(const SuiteOracle& core);
+
+ private:
+  friend class SuiteOracle;
+  RankWorklist worklist_;
+  std::vector<std::uint64_t> rows_;
+  std::vector<char> touched_;
+  std::vector<NodeId> visited_;
+  std::vector<std::uint64_t> trig_, fire_;
+};
+
 /// Cached-row defender oracle over one work netlist. The netlist must stay
 /// owned by the caller; structural edits are reported through the tie/commit
 /// API. Only combinational netlists are cached — construction on a netlist
 /// with DFFs sets sequential() and the caller falls back to functional_test.
+///
+/// Thread safety: the const overloads of tie_visible / ht_visible are pure
+/// reads of the shared core plus writes into the caller-provided scratch, so
+/// any number of threads may judge candidates concurrently, each with its
+/// own ConeScratch, provided (a) the netlist is not mutated meanwhile and
+/// (b) resync_structure() ran after the last structural edit. commit_tie and
+/// resync_structure mutate the core and must be called single-threaded.
 class SuiteOracle {
  public:
   SuiteOracle(const Netlist& nl, const DefenderSuite& suite);
+
+  // The built-in scratch references this instance's rank vector; a copy or
+  // move would leave it pointing into the source object.
+  SuiteOracle(const SuiteOracle&) = delete;
+  SuiteOracle& operator=(const SuiteOracle&) = delete;
 
   bool sequential() const { return sequential_; }
 
   /// Would tying `target` to constant `value` change any defender response?
   /// Judged BEFORE the structural rewrite by forcing the constant at the
   /// target and propagating through its fanout cone — a rejected candidate
-  /// never touches the netlist at all.
-  bool tie_visible(NodeId target, bool value);
-
-  /// Fold an accepted (invisible) tie into the cached rows. Call before the
-  /// structural tie_to_constant, then resync_structure() after it.
-  void commit_tie(NodeId target, bool value);
-
-  /// Refresh structural bookkeeping (node capacity, output drivers) after
-  /// the caller mutated the netlist with a committed edit.
-  void resync_structure();
+  /// never touches the netlist at all. One fused pass covers every test set.
+  bool tie_visible(NodeId target, bool value, ConeScratch& cs) const;
 
   /// Would inserting this HT be caught by the suite? Judged before the HT is
   /// materialised: the trigger AND and counter are replayed against the
@@ -71,45 +107,68 @@ class SuiteOracle {
   /// fanout cone. Exactly equivalent to streaming the infected netlist
   /// through functional_test.
   bool ht_visible(std::span<const NodeId> trigger_nets, int counter_bits,
+                  NodeId victim, ConeScratch& cs) const;
+
+  /// Single-threaded conveniences on a built-in scratch; these also refresh
+  /// the core's node capacity first (the const overloads do not).
+  bool tie_visible(NodeId target, bool value);
+  bool ht_visible(std::span<const NodeId> trigger_nets, int counter_bits,
                   NodeId victim);
 
+  /// Fold an accepted (invisible) tie into the cached rows. Call before the
+  /// structural tie_to_constant, then resync_structure() after it.
+  void commit_tie(NodeId target, bool value);
+
+  /// Refresh structural bookkeeping (node capacity, output drivers) after
+  /// the caller mutated the netlist with a committed edit. Must also run
+  /// before a parallel screening phase that follows any structural edit.
+  void resync_structure();
+
  private:
-  struct SetCache {
-    std::size_t words = 0;
-    std::size_t patterns = 0;
-    std::uint64_t tail = ~std::uint64_t{0};
-    std::vector<std::uint64_t> rows;    ///< node-major cache, stride = words
-    std::vector<std::uint64_t> golden;  ///< output-major expected rows
+  friend class ConeScratch;
+
+  /// One defender test set's lane range inside the fused rows.
+  struct SetSegment {
+    std::size_t offset = 0;    ///< First fused word of this set.
+    std::size_t words = 0;     ///< Packed words in this set.
+    std::size_t patterns = 0;  ///< Patterns (bits) in this set.
   };
 
   void grow();
-  std::uint64_t* scratch_row(NodeId id) {
-    return scratch_.data() + static_cast<std::size_t>(id) * stride_;
+  void ensure_scratch(ConeScratch& cs) const;
+  const std::uint64_t* cached_row(NodeId id) const {
+    return rows_.data() + static_cast<std::size_t>(id) * words_;
   }
-  const std::uint64_t* cached_row(const SetCache& sc, NodeId id) const {
-    return sc.rows.data() + static_cast<std::size_t>(id) * sc.words;
+  std::uint64_t* scratch_row(ConeScratch& cs, NodeId id) const {
+    return cs.rows_.data() + static_cast<std::size_t>(id) * words_;
   }
-  void schedule(NodeId id);
-  /// Event-driven cone evaluation from the pre-seeded worklist/forced rows;
-  /// returns true when a primary-output row deviates from golden. With
-  /// `fold`, deviating internal rows are written back into the cache.
-  bool run_cone(SetCache& sc, bool fold);
-  bool check_tie(NodeId target, bool value, bool fold);
+  void schedule(NodeId id, ConeScratch& cs) const;
+  /// Event-driven fused-cone evaluation from the pre-seeded worklist/forced
+  /// rows; returns true when a primary-output row deviates from golden on
+  /// any valid lane. Leaves cs touched/visited marks set for the caller.
+  bool propagate(ConeScratch& cs) const;
+  void clear_marks(ConeScratch& cs) const;
+  /// Seed a forced-constant row at `target`. Returns false when the cached
+  /// row already equals the constant on every valid lane (nothing to do).
+  bool seed_tie(NodeId target, bool value, ConeScratch& cs) const;
+  /// Build cs.fire_ (payload-enable per pattern lane) from the trigger AND
+  /// over `trigger_nets` plus the per-set counter replay. Returns true when
+  /// the payload fires at least once somewhere in the suite.
+  bool payload_fires(std::span<const NodeId> trigger_nets, int counter_bits,
+                     ConeScratch& cs) const;
 
   const Netlist* nl_;
   const DefenderSuite* suite_;
   bool sequential_ = false;
-  std::size_t cap_ = 0;     ///< node capacity of rows/scratch
-  std::size_t stride_ = 0;  ///< max words over all sets
-  std::vector<SetCache> sets_;
-  std::vector<NodeId> recorded_po_;  ///< outputs() as of the cached state
+  std::size_t cap_ = 0;    ///< node capacity of rows/scratch
+  std::size_t words_ = 0;  ///< fused row width: sum of set widths
+  std::vector<SetSegment> segs_;
+  std::vector<std::uint64_t> valid_;   ///< per fused word: valid-lane mask
+  std::vector<std::uint64_t> rows_;    ///< node-major fused cache
+  std::vector<std::uint64_t> golden_;  ///< output-major fused expected rows
+  std::vector<NodeId> recorded_po_;    ///< outputs() as of the cached state
   std::vector<std::uint32_t> rank_;
-  // Worklist scratch (FaultSimEngine-style touched-row discipline).
-  RankWorklist worklist_{rank_};
-  std::vector<std::uint64_t> scratch_;
-  std::vector<char> touched_;
-  std::vector<NodeId> visited_;
-  std::vector<std::uint64_t> trig_, fire_;
+  ConeScratch self_{*this};  ///< scratch for the single-threaded API
 };
 
 /// One engine per (original netlist, defender suite, power model) triple;
@@ -121,11 +180,18 @@ class FlowEngine {
       : original_(&original), suite_(&suite), pm_(&pm) {}
 
   /// Algorithm 1 on a SuiteOracle: tie, O(cone) recheck, undo-log revert.
+  /// With opt.threads resolving to > 1, upcoming candidates are screened
+  /// speculatively in parallel and the verdicts consumed in canonical order
+  /// up to the first accept (which invalidates the rest of the batch) —
+  /// bit-identical to the sequential scan.
   SalvageResult salvage(const SalvageOptions& opt = {});
 
   /// Algorithm 2 on the oracle + PowerTracker: candidates are rejected
   /// before materialisation where possible; materialised rejects roll back
-  /// through the added-node range.
+  /// through the added-node range. With opt.threads resolving to > 1, the
+  /// per-victim trigger pools and suite verdicts for each HT descriptor are
+  /// computed in parallel, then the victims are walked in canonical order —
+  /// bit-identical to the sequential scan.
   InsertionResult insert(const SalvageResult& salvaged,
                          const InsertionOptions& opt = {});
 

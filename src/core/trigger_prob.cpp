@@ -10,21 +10,28 @@
 namespace tz {
 
 double analytic_pft(double q, std::size_t test_length, int counter_bits) {
+  // Saturation count in 64 bits: the old `(1 << counter_bits) - 1` computed
+  // in int was undefined behaviour from counter_bits == 31 up.
+  if (counter_bits < 0 || counter_bits > 63) {
+    throw std::invalid_argument("analytic_pft: counter_bits must be in [0,63]");
+  }
   if (q <= 0.0) return 0.0;
   if (q >= 1.0) return 1.0;
   const std::size_t L = test_length;
-  const int need = counter_bits == 0 ? 1 : (1 << counter_bits) - 1;
-  if (static_cast<std::size_t>(need) > L) return 0.0;
+  const std::uint64_t need =
+      counter_bits == 0 ? 1 : (std::uint64_t{1} << counter_bits) - 1;
+  if (need > L) return 0.0;  // counter cannot saturate within the stream
   // P[X >= need] = 1 - sum_{k<need} C(L,k) q^k (1-q)^(L-k), in log space.
   double tail = 0.0;
   double log_comb = 0.0;  // log C(L,0)
   const double lq = std::log(q), l1q = std::log1p(-q);
-  for (int k = 0; k < need; ++k) {
+  for (std::uint64_t k = 0; k < need; ++k) {
     if (k > 0) {
       log_comb += std::log(static_cast<double>(L - k + 1)) -
                   std::log(static_cast<double>(k));
     }
-    tail += std::exp(log_comb + k * lq + (L - k) * l1q);
+    tail += std::exp(log_comb + static_cast<double>(k) * lq +
+                     static_cast<double>(L - k) * l1q);
   }
   return std::max(0.0, 1.0 - tail);
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/ht_library.hpp"
@@ -44,6 +45,12 @@ DetectionResult detect_leakage_glc(const Netlist& golden_nl,
                                    const Netlist& dut_nl,
                                    const PowerModel& pm,
                                    const PowerDetectOptions& opt) {
+  if (opt.golden_dies == 0 || opt.dut_dies == 0) {
+    // 0-die populations used to divide into NaN means, and a NaN statistic
+    // silently compared as "not detected".
+    throw std::invalid_argument(
+        "detect_leakage_glc: golden_dies and dut_dies must be >= 1");
+  }
   const PowerBreakdown golden_nom = pm.analyze(golden_nl);
   const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   const double claimed = golden_nom.totals.leakage_uw;
@@ -69,16 +76,23 @@ DetectionResult detect_leakage_glc(const Netlist& golden_nl,
 
   DetectionResult r;
   r.threshold = opt.confidence_sigma;
+  // Same degenerate-population policy as population_test: the old
+  // `sem > 0 ? ... : 0.0` reported a blatant trojan as undetected on a
+  // zero-variation population.
   const double sem = std::sqrt(gv / d.size() + gv / g.size());
-  r.statistic = sem > 0.0 ? (dm - gm) / sem : 0.0;
-  r.detected = r.statistic > r.threshold;
-  r.overhead_percent = 100.0 * (dm - gm) / gm;
+  apply_population_statistic(r, gm, dm, sem);
+  r.overhead_percent = gm > 0.0 ? 100.0 * (dm - gm) / gm : 0.0;
   return r;
 }
 
 double min_detectable_leakage_overhead(const Netlist& golden_nl,
                                        const PowerModel& pm,
                                        const PowerDetectOptions& opt) {
+  if (golden_nl.inputs().empty()) {
+    throw std::invalid_argument(
+        "min_detectable_leakage_overhead: netlist has no primary inputs to "
+        "attach additive gates to");
+  }
   Netlist dut = golden_nl;
   const double base = pm.analyze(golden_nl).totals.leakage_uw;
   for (int gates = 1; gates <= 256; ++gates) {

@@ -1,8 +1,11 @@
 #include "detect/power_trace.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/ht_library.hpp"
@@ -30,6 +33,12 @@ Population stats(const std::vector<double>& xs) {
 DetectionResult population_test(const Netlist& golden_nl,
                                 const Netlist& dut_nl, const PowerModel& pm,
                                 const PowerDetectOptions& opt, bool total) {
+  if (opt.golden_dies == 0 || opt.dut_dies == 0) {
+    // 0/0 die populations used to divide through the SEM into NaN, and a NaN
+    // statistic silently compared as "not detected".
+    throw std::invalid_argument(
+        "population_test: golden_dies and dut_dies must be >= 1");
+  }
   const PowerBreakdown golden_nom = pm.analyze(golden_nl);
   const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   VariationModel vm(opt.variation, opt.seed);
@@ -51,17 +60,34 @@ DetectionResult population_test(const Netlist& golden_nl,
 
   DetectionResult r;
   r.threshold = opt.confidence_sigma;
-  // Standard error of the DUT-mean vs golden-mean difference.
+  // Standard error of the DUT-mean vs golden-mean difference. The old code
+  // collapsed the statistic to 0.0 on sem == 0, reporting even a blatant
+  // trojan as undetected on a zero-variation population.
   const double sem =
       std::sqrt(g.stddev * g.stddev / static_cast<double>(opt.golden_dies) +
                 d.stddev * d.stddev / static_cast<double>(opt.dut_dies));
-  r.statistic = sem > 0.0 ? (d.mean - g.mean) / sem : 0.0;
-  r.detected = r.statistic > r.threshold;
+  apply_population_statistic(r, g.mean, d.mean, sem);
   r.overhead_percent = g.mean > 0.0 ? 100.0 * (d.mean - g.mean) / g.mean : 0.0;
   return r;
 }
 
 }  // namespace
+
+void apply_population_statistic(DetectionResult& r, double golden_mean,
+                                double dut_mean, double sem) {
+  // With identical-but-summed measurements sem is not exactly zero but a few
+  // ulps of the mean, which would turn the statistic into accumulation noise
+  // of either sign — so "degenerate" is a relative epsilon, not == 0.
+  const double tol =
+      1e-12 * std::max({std::abs(golden_mean), std::abs(dut_mean), 1e-300});
+  if (sem > tol) {
+    r.statistic = (dut_mean - golden_mean) / sem;
+    r.detected = r.statistic > r.threshold;
+  } else {
+    r.detected = dut_mean - golden_mean > tol;
+    r.statistic = r.detected ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+}
 
 DetectionResult detect_dynamic_power(const Netlist& golden_nl,
                                      const Netlist& dut_nl,
@@ -80,6 +106,11 @@ DetectionResult detect_total_power(const Netlist& golden_nl,
 double min_detectable_dynamic_overhead(const Netlist& golden_nl,
                                        const PowerModel& pm,
                                        const PowerDetectOptions& opt) {
+  if (golden_nl.inputs().empty()) {
+    throw std::invalid_argument(
+        "min_detectable_dynamic_overhead: netlist has no primary inputs to "
+        "attach additive gates to");
+  }
   // Attach additive always-on gates (classic additive HT model) one at a
   // time until the detector flags the die population.
   Netlist dut = golden_nl;

@@ -27,6 +27,17 @@ struct PowerDetectOptions {
   std::uint64_t seed = 99;
 };
 
+/// Shared two-population decision policy for the power-side detectors: a
+/// sigma test on the standard error when the populations carry real spread,
+/// falling back to a direct mean-difference test when `sem` is below a
+/// relative noise floor of the means. Degenerate populations (zero process
+/// variation) measure bit-identical dies, so the residue of the
+/// floating-point mean accumulation must not masquerade as spread — a
+/// genuine excess is infinitely many sigmas out, rounding noise is not.
+/// Reads `r.threshold` (sigmas); sets `r.statistic` and `r.detected`.
+void apply_population_statistic(DetectionResult& r, double golden_mean,
+                                double dut_mean, double sem);
+
 /// Dynamic-power population test. `golden_nl` is the signed-off netlist the
 /// defender trusts; `dut_nl` is what actually got fabricated.
 DetectionResult detect_dynamic_power(const Netlist& golden_nl,

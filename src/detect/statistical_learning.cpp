@@ -3,6 +3,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "core/ht_library.hpp"
@@ -31,7 +32,14 @@ struct Gaussian2 {
   }
 };
 
+/// Requires xs.size() >= 2: the sample covariance divides by n - 1, so a
+/// single-die training set would produce an inf/NaN inverse covariance.
+/// detect_statistical_learning validates the option before calling.
 Gaussian2 fit(const std::vector<Feature>& xs) {
+  if (xs.size() < 2) {
+    throw std::invalid_argument(
+        "fit: need at least 2 training dies for a sample covariance");
+  }
   Gaussian2 g;
   const double n = static_cast<double>(xs.size());
   for (const Feature& f : xs) {
@@ -61,6 +69,17 @@ Gaussian2 fit(const std::vector<Feature>& xs) {
 DetectionResult detect_statistical_learning(
     const Netlist& golden_nl, const Netlist& dut_nl, const PowerModel& pm,
     const LearningDetectOptions& opt) {
+  // Degenerate populations used to flow NaN into the result: golden_dies < 2
+  // breaks the covariance fit, dut_dies == 0 divides the per-die averages by
+  // zero. Fail loudly instead.
+  if (opt.base.golden_dies < 2) {
+    throw std::invalid_argument(
+        "detect_statistical_learning: golden_dies must be >= 2 to train");
+  }
+  if (opt.base.dut_dies == 0) {
+    throw std::invalid_argument(
+        "detect_statistical_learning: dut_dies must be >= 1");
+  }
   const PowerBreakdown golden_nom = pm.analyze(golden_nl);
   const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   VariationModel vm(opt.base.variation, opt.base.seed);
@@ -70,6 +89,14 @@ DetectionResult detect_statistical_learning(
     train.push_back(measure_die(golden_nl, golden_nom, vm));
   }
   const Gaussian2 g = fit(train);
+  const double golden_power = g.mean[0] + g.mean[1];
+  if (!(golden_power > 0.0)) {
+    // A zero-power golden centroid has no meaningful overhead percentage
+    // (and used to divide into NaN); every real cell library leaks, so this
+    // is a configuration error, not a measurement.
+    throw std::invalid_argument(
+        "detect_statistical_learning: golden population has zero mean power");
+  }
   double max_train = 0.0;
   for (const Feature& f : train) {
     max_train = std::max(max_train, g.mahalanobis2(f));
@@ -84,9 +111,8 @@ DetectionResult detect_statistical_learning(
     const double d2 = g.mahalanobis2(f);
     mean_dist += d2 / opt.base.dut_dies;
     if (d2 > boundary) ++outside;
-    mean_overhead +=
-        100.0 * ((f[0] + f[1]) - (g.mean[0] + g.mean[1])) /
-        ((g.mean[0] + g.mean[1]) * opt.base.dut_dies);
+    mean_overhead += 100.0 * ((f[0] + f[1]) - golden_power) /
+                     (golden_power * opt.base.dut_dies);
   }
   DetectionResult r;
   r.threshold = boundary;
@@ -99,6 +125,11 @@ DetectionResult detect_statistical_learning(
 double min_detectable_area_overhead(const Netlist& golden_nl,
                                     const PowerModel& pm,
                                     const LearningDetectOptions& opt) {
+  if (golden_nl.inputs().empty()) {
+    throw std::invalid_argument(
+        "min_detectable_area_overhead: netlist has no primary inputs to "
+        "attach additive gates to");
+  }
   Netlist dut = golden_nl;
   const double base = pm.analyze(golden_nl).totals.area_ge;
   for (int gates = 1; gates <= 256; ++gates) {

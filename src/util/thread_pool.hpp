@@ -1,0 +1,149 @@
+// Small reusable thread pool for the embarrassingly-parallel candidate
+// scans (FlowEngine insertion victim screening, salvage tie screening).
+//
+// Design constraints, in order:
+//  - Determinism: parallel_for(n, fn) promises only that fn(i, worker) runs
+//    exactly once for every i; callers write results into slot i of a
+//    pre-sized vector and reduce in index order afterwards, so the outcome
+//    never depends on scheduling. The pool itself has no ordered channels.
+//  - Reuse: workers are spawned once and parked between jobs, so a flow that
+//    issues one parallel_for per screening batch pays thread creation once.
+//  - Caller participation: the calling thread works the same index stream as
+//    the workers; a pool of size 1 (or n == 1) degrades to an inline loop
+//    with no synchronisation at all.
+//
+// Thread-count resolution: an explicit request wins; otherwise the TZ_THREADS
+// environment variable; otherwise std::thread::hardware_concurrency().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tz {
+
+/// Threads to use for a flow phase: `requested` if nonzero, else TZ_THREADS
+/// if set to a positive integer, else hardware_concurrency (min 1).
+inline std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("TZ_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+class ThreadPool {
+ public:
+  /// `threads` counts the calling thread: a pool of size N spawns N-1
+  /// workers. 0 resolves via resolve_threads(0).
+  explicit ThreadPool(std::size_t threads = 0) {
+    const std::size_t n = std::max<std::size_t>(1, resolve_threads(threads));
+    workers_.reserve(n - 1);
+    for (std::size_t w = 1; w < n; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  /// Total worker count including the caller.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Run fn(i, worker) for every i in [0, n), blocking until all complete.
+  /// `worker` is a stable id in [0, size()) — use it to index per-thread
+  /// scratch. fn must be safe to call concurrently from different workers.
+  /// The first exception thrown by any fn is rethrown here after the job
+  /// drains; the remaining indices still run.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(i, 0);
+      return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      job_ = job;
+    }
+    cv_.notify_all();
+    run_job(*job, 0);
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      cv_.wait(lk, [&] { return job->done.load() == job->n; });
+      if (job_ == job) job_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;  ///< First failure; guarded by the pool mutex.
+  };
+
+  void run_job(Job& job, std::size_t worker) {
+    for (;;) {
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      try {
+        (*job.fn)(i, worker);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(m_);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+        // Last index: wake the caller (and any parked workers re-checking).
+        std::lock_guard<std::mutex> lk(m_);
+        cv_.notify_all();
+      }
+    }
+  }
+
+  void worker_loop(std::size_t worker) {
+    std::shared_ptr<Job> last;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lk(m_);
+        cv_.wait(lk, [&] { return stop_ || (job_ && job_ != last); });
+        if (stop_) return;
+        job = job_;
+      }
+      run_job(*job, worker);
+      last = std::move(job);  // a drained job hands out only i >= n: harmless
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::shared_ptr<Job> job_;
+  bool stop_ = false;
+};
+
+}  // namespace tz

@@ -247,6 +247,18 @@ TEST(AnalyticPft, ClosedFormEdgeCases) {
   EXPECT_GT(analytic_pft(0.05, 200, 2), analytic_pft(0.05, 200, 4));
 }
 
+TEST(AnalyticPft, WideCountersAreWellDefined) {
+  // `(1 << counter_bits) - 1` in int was UB from 31 bits up; the saturation
+  // count is now computed in 64 bits, so any wide counter simply needs more
+  // hits than the test stream has cycles.
+  EXPECT_DOUBLE_EQ(analytic_pft(0.5, 1000, 31), 0.0);
+  EXPECT_DOUBLE_EQ(analytic_pft(0.5, 1000, 32), 0.0);
+  EXPECT_DOUBLE_EQ(analytic_pft(0.5, 1000, 63), 0.0);
+  // Out-of-range counter widths fail loudly instead of shifting into UB.
+  EXPECT_THROW(analytic_pft(0.5, 1000, -1), std::invalid_argument);
+  EXPECT_THROW(analytic_pft(0.5, 1000, 64), std::invalid_argument);
+}
+
 TEST(AnalyticPft, MatchesMonteCarloOnTestbed) {
   NodeId victim;
   std::vector<NodeId> rare;

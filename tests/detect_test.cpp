@@ -1,6 +1,9 @@
 // Tests for the power-based detection baselines ([10], [11], [12]).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "core/ht_library.hpp"
 #include "core/report.hpp"
 #include "detect/gate_characterization.hpp"
@@ -54,6 +57,124 @@ TEST(PowerTrace, MinimumDetectableOverheadIsSmallButPositive) {
   const double pct = min_detectable_dynamic_overhead(nl, pm);
   EXPECT_GT(pct, 0.0);
   EXPECT_LT(pct, 20.0);  // the detector is useful, not omniscient
+}
+
+// ---- degenerate die populations (the detector-math bugfixes) --------------
+
+VariationSpec zero_variation() {
+  VariationSpec v;
+  v.leakage_sigma = 0.0;
+  v.dynamic_sigma = 0.0;
+  v.die_sigma = 0.0;
+  v.measurement_sigma = 0.0;
+  return v;
+}
+
+TEST(PowerTrace, ZeroVariationStillFlagsBlatantHt) {
+  // With no process variation every die measures identically, the SEM is 0,
+  // and the old statistic collapsed to 0.0 — a blatant additive trojan was
+  // reported undetected. The sem == 0 path now falls back to a direct
+  // mean-difference test.
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  PowerDetectOptions opt;
+  opt.variation = zero_variation();
+  const DetectionResult dirty = detect_dynamic_power(nl, additive_ht(nl, 40), pm, opt);
+  EXPECT_TRUE(dirty.detected);
+  EXPECT_FALSE(std::isnan(dirty.statistic));
+  const DetectionResult total = detect_total_power(nl, additive_ht(nl, 40), pm, opt);
+  EXPECT_TRUE(total.detected);
+}
+
+TEST(PowerTrace, ZeroVariationCleanDutStaysClean) {
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  PowerDetectOptions opt;
+  opt.variation = zero_variation();
+  const DetectionResult r = detect_dynamic_power(nl, nl, pm, opt);
+  EXPECT_FALSE(r.detected);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_FALSE(std::isnan(r.overhead_percent));
+}
+
+TEST(PowerTrace, ZeroDiePopulationsThrow) {
+  // 0-die populations used to divide into NaN, and NaN > threshold silently
+  // read as "not detected".
+  const Netlist nl = make_benchmark("c17");
+  const PowerModel pm = model();
+  PowerDetectOptions opt;
+  opt.golden_dies = 0;
+  EXPECT_THROW(detect_dynamic_power(nl, nl, pm, opt), std::invalid_argument);
+  EXPECT_THROW(detect_leakage_glc(nl, nl, pm, opt), std::invalid_argument);
+  opt.golden_dies = 8;
+  opt.dut_dies = 0;
+  EXPECT_THROW(detect_total_power(nl, nl, pm, opt), std::invalid_argument);
+  EXPECT_THROW(detect_leakage_glc(nl, nl, pm, opt), std::invalid_argument);
+}
+
+TEST(Glc, ZeroVariationDegeneratePopulations) {
+  // Same sem == 0 fallback as the power-trace detectors: a blatant additive
+  // HT stays flagged with identical dies, a clean DUT stays clean on exact
+  // rounding residue.
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  PowerDetectOptions opt;
+  opt.variation = zero_variation();
+  const DetectionResult clean = detect_leakage_glc(nl, nl, pm, opt);
+  EXPECT_FALSE(clean.detected);
+  EXPECT_DOUBLE_EQ(clean.statistic, 0.0);
+  const DetectionResult dirty = detect_leakage_glc(nl, additive_ht(nl, 50), pm, opt);
+  EXPECT_TRUE(dirty.detected);
+  EXPECT_FALSE(std::isnan(dirty.statistic));
+}
+
+TEST(Learning, DegenerateOptionsThrow) {
+  // golden_dies < 2 breaks the n-1 covariance fit (inf/NaN inverse
+  // covariance); dut_dies == 0 divides the per-die averages by zero.
+  const Netlist nl = make_benchmark("c17");
+  const PowerModel pm = model();
+  LearningDetectOptions opt;
+  opt.base.golden_dies = 1;
+  EXPECT_THROW(detect_statistical_learning(nl, nl, pm, opt),
+               std::invalid_argument);
+  opt.base.golden_dies = 0;
+  EXPECT_THROW(detect_statistical_learning(nl, nl, pm, opt),
+               std::invalid_argument);
+  opt.base.golden_dies = 8;
+  opt.base.dut_dies = 0;
+  EXPECT_THROW(detect_statistical_learning(nl, nl, pm, opt),
+               std::invalid_argument);
+}
+
+TEST(Learning, ZeroVariationHasNoNanStatistics) {
+  // Identical training dies give a singular covariance; the clamped inverse
+  // keeps the distances finite and a clean population inside the boundary.
+  const Netlist nl = make_benchmark("c432");
+  const PowerModel pm = model();
+  LearningDetectOptions opt;
+  opt.base.variation = zero_variation();
+  const DetectionResult clean = detect_statistical_learning(nl, nl, pm, opt);
+  EXPECT_FALSE(clean.detected);
+  EXPECT_FALSE(std::isnan(clean.statistic));
+  EXPECT_FALSE(std::isnan(clean.overhead_percent));
+  // A singular (zero-spread) training covariance degrades the classifier's
+  // distances to zero — a known blind spot, but finite and deterministic,
+  // never NaN.
+  const DetectionResult dirty =
+      detect_statistical_learning(nl, additive_ht(nl, 80), pm, opt);
+  EXPECT_FALSE(std::isnan(dirty.statistic));
+  EXPECT_FALSE(std::isnan(dirty.overhead_percent));
+}
+
+TEST(MinOverheadSweeps, NoPrimaryInputsThrows) {
+  // `gates % dut.inputs().size()` was a modulo-by-zero crash on a netlist
+  // with no PIs.
+  Netlist nl("pi_free");
+  nl.mark_output(nl.const_node(true));
+  const PowerModel pm = model();
+  EXPECT_THROW(min_detectable_dynamic_overhead(nl, pm), std::invalid_argument);
+  EXPECT_THROW(min_detectable_leakage_overhead(nl, pm), std::invalid_argument);
+  EXPECT_THROW(min_detectable_area_overhead(nl, pm), std::invalid_argument);
 }
 
 TEST(Glc, CleanDutNotFlagged) {

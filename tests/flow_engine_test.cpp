@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "core/flow_engine.hpp"
 #include "core/ht_library.hpp"
@@ -16,6 +18,7 @@
 #include "sim/simulator.hpp"
 #include "tech/power_tracker.hpp"
 #include "testutil.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tz {
 namespace {
@@ -334,6 +337,120 @@ TEST(TriggerPool, RareListFilterMatchesAndStaysLoopFree) {
     }
     EXPECT_EQ(pool, expect);
   }
+}
+
+// ---- parallel candidate scans: bit-identical to the sequential engine ------
+
+void expect_same_salvage(const SalvageResult& a, const SalvageResult& b,
+                         const std::string& label) {
+  EXPECT_EQ(a.candidates, b.candidates) << label;
+  EXPECT_EQ(a.rejected, b.rejected) << label;
+  EXPECT_EQ(a.expendable_gates, b.expendable_gates) << label;
+  ASSERT_EQ(a.accepted.size(), b.accepted.size()) << label;
+  for (std::size_t i = 0; i < a.accepted.size(); ++i) {
+    EXPECT_EQ(a.accepted[i].node_name, b.accepted[i].node_name) << label;
+    EXPECT_EQ(a.accepted[i].tie_value, b.accepted[i].tie_value) << label;
+    EXPECT_EQ(a.accepted[i].probability, b.accepted[i].probability) << label;
+    EXPECT_EQ(a.accepted[i].gates_removed, b.accepted[i].gates_removed)
+        << label;
+  }
+  // Reported power must be bit-identical, not merely close.
+  EXPECT_EQ(a.power_after.dynamic_uw, b.power_after.dynamic_uw) << label;
+  EXPECT_EQ(a.power_after.leakage_uw, b.power_after.leakage_uw) << label;
+  EXPECT_EQ(a.power_after.area_ge, b.power_after.area_ge) << label;
+}
+
+void expect_same_insertion(const InsertionResult& a, const InsertionResult& b,
+                           const std::string& label) {
+  EXPECT_EQ(a.success, b.success) << label;
+  EXPECT_EQ(a.ht_name, b.ht_name) << label;
+  EXPECT_EQ(a.victim_name, b.victim_name) << label;
+  EXPECT_EQ(a.dummy_gates, b.dummy_gates) << label;
+  EXPECT_EQ(a.tried_hts, b.tried_hts) << label;
+  EXPECT_EQ(a.tried_locations, b.tried_locations) << label;
+  EXPECT_EQ(a.fail_build, b.fail_build) << label;
+  EXPECT_EQ(a.fail_test, b.fail_test) << label;
+  EXPECT_EQ(a.fail_caps, b.fail_caps) << label;
+  EXPECT_EQ(a.trigger_p1, b.trigger_p1) << label;
+  EXPECT_EQ(a.power.dynamic_uw, b.power.dynamic_uw) << label;
+  EXPECT_EQ(a.power.leakage_uw, b.power.leakage_uw) << label;
+  EXPECT_EQ(a.power.area_ge, b.power.area_ge) << label;
+  if (a.success && b.success) {
+    EXPECT_EQ(a.infected.live_count(), b.infected.live_count()) << label;
+    EXPECT_EQ(a.infected.gate_count(), b.infected.gate_count()) << label;
+  }
+}
+
+TEST(ParallelScan, BitIdenticalAcrossThreadCounts) {
+  // The ordered reduction promises: accepted candidates, HT/victim/dummy
+  // choices and reported power never depend on the worker count. c6288 is
+  // the >2k-gate array-multiplier stress (rare cut relaxed as in the bench,
+  // so the trigger search walks a real pool).
+  struct Case {
+    const char* name;
+    double rare_p1;
+    std::vector<TrojanDesc> library;
+  };
+  const Case cases[] = {
+      {"c880", 0.05, {}},
+      {"c1908", 0.05, {}},
+      {"c6288", 0.25, {counter_trojan(5), counter_trojan(3)}},
+  };
+  for (const Case& c : cases) {
+    const Netlist original = make_benchmark(c.name);
+    const DefenderSuite suite =
+        make_defender_suite(original, defender_defaults());
+    const PowerModel pm = model();
+    SalvageOptions sopt;
+    sopt.pth = spec_for(c.name).pth;
+    InsertionOptions iopt;
+    iopt.rare_p1 = c.rare_p1;
+    iopt.library = c.library;
+
+    sopt.threads = 1;
+    iopt.threads = 1;
+    const SalvageResult s1 = salvage_power_area(original, suite, pm, sopt);
+    const InsertionResult r1 = insert_trojan(original, s1, suite, pm, iopt);
+
+    for (const std::size_t t : {std::size_t{2}, std::size_t{8}}) {
+      const std::string label =
+          std::string(c.name) + " threads=" + std::to_string(t);
+      sopt.threads = t;
+      iopt.threads = t;
+      const SalvageResult st = salvage_power_area(original, suite, pm, sopt);
+      expect_same_salvage(s1, st, label);
+      const InsertionResult rt = insert_trojan(original, st, suite, pm, iopt);
+      expect_same_insertion(r1, rt, label);
+    }
+  }
+}
+
+TEST(ParallelScan, ConcurrentOracleMatchesBuiltinScratch) {
+  // The const judging API on per-thread scratch must agree verdict-for-
+  // verdict with the single-threaded convenience overloads.
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite =
+      make_defender_suite(original, defender_defaults());
+  const Netlist work = original.compact();
+  const SignalProb sp(work);
+  const auto cands = find_candidates(work, sp, 0.992, false);
+  ASSERT_FALSE(cands.empty());
+  SuiteOracle oracle(work, suite);
+  ASSERT_FALSE(oracle.sequential());
+  std::vector<char> expected(cands.size(), 0);
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    expected[i] = oracle.tie_visible(cands[i].node, cands[i].tie_value);
+  }
+  ThreadPool pool(4);
+  std::vector<ConeScratch> scratch;
+  for (std::size_t w = 0; w < pool.size(); ++w) scratch.emplace_back(oracle);
+  std::vector<char> got(cands.size(), 0);
+  const SuiteOracle& shared = oracle;
+  pool.parallel_for(cands.size(), [&](std::size_t i, std::size_t w) {
+    got[i] =
+        shared.tie_visible(cands[i].node, cands[i].tie_value, scratch[w]);
+  });
+  EXPECT_EQ(got, expected);
 }
 
 // ---- consolidated collision-avoidance naming -------------------------------
