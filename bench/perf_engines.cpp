@@ -8,10 +8,12 @@
 
 #include "atpg/fault_sim_engine.hpp"
 #include "atpg/test_set.hpp"
+#include "core/flow_engine.hpp"
 #include "core/report.hpp"
 #include "gen/iscas.hpp"
 #include "prob/signal_prob.hpp"
 #include "sat/equivalence.hpp"
+#include "sim/eval_plan.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
@@ -36,6 +38,45 @@ void BM_BitSimulator(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_BitSimulator)->Arg(64)->Arg(1024)->Arg(8192);
+
+// One-time cost of compiling a netlist into the flat SoA evaluation plan
+// (opcode stream + fanin/fanout CSR) every bit-parallel engine now walks.
+void BM_EvalPlanCompile(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c6288");
+  for (auto _ : state) {
+    tz::EvalPlan plan(nl);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_EvalPlanCompile);
+
+// The SuiteOracle's fused cone pass at defender-suite widths of 1/4/16
+// words (64/256/1024 patterns): one tie verdict per combinational gate, the
+// steady-state cost of an Algorithm 1 candidate screen.
+void BM_ConePassWords(benchmark::State& state) {
+  const tz::Netlist& nl = circuit("c3540");
+  const std::size_t words = static_cast<std::size_t>(state.range(0));
+  tz::DefenderSuite suite;
+  tz::DefenderTestSet ts;
+  ts.name = "random";
+  ts.patterns = tz::random_patterns(nl.inputs().size(), 64 * words, 11);
+  ts.golden = tz::BitSimulator(nl).outputs(ts.patterns);
+  suite.algorithms.push_back(std::move(ts));
+  tz::SuiteOracle oracle(nl, suite);
+  std::vector<tz::NodeId> gates;
+  for (tz::NodeId id = 0; id < nl.raw_size(); ++id) {
+    if (nl.is_alive(id) && tz::is_combinational(nl.node(id).type)) {
+      gates.push_back(id);
+    }
+  }
+  for (auto _ : state) {
+    std::size_t visible = 0;
+    for (tz::NodeId g : gates) visible += oracle.tie_visible(g, true) ? 1 : 0;
+    benchmark::DoNotOptimize(visible);
+  }
+  state.SetItemsProcessed(state.iterations() * gates.size());
+}
+BENCHMARK(BM_ConePassWords)->ArgName("words")->Arg(1)->Arg(4)->Arg(16);
 
 void BM_SignalProb(benchmark::State& state) {
   const tz::Netlist& nl = circuit("c3540");

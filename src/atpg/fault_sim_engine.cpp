@@ -2,39 +2,58 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <numeric>
 
 #include "sim/gate_eval.hpp"
 
 namespace tz {
 
 FaultSimEngine::FaultSimEngine(const Netlist& nl)
-    : nl_(&nl),
-      sim_(nl),
-      rank_(nl.raw_size(), 0),
-      po_reach_(nl.raw_size(), 0),
-      touched_(nl.raw_size(), 0) {
-  const std::vector<NodeId>& order = sim_.order();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    rank_[order[i]] = static_cast<std::uint32_t>(i);
-  }
-  worklist_.resize(nl.raw_size());
-  // Static reachability: a fault effect at node x is observable only if some
-  // combinational path leads from x to a primary output; DFFs block a
-  // single-pass propagation exactly as they do in BitSimulator::run. Reverse
-  // topological order guarantees every combinational reader is resolved
-  // before the node itself.
-  for (NodeId po : nl.outputs()) po_reach_[po] = 1;
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
-    const NodeId id = *it;
-    if (po_reach_[id]) continue;
-    for (NodeId reader : nl.node(id).fanout) {
-      if (nl.is_alive(reader) && nl.node(reader).type != GateType::Dff &&
-          po_reach_[reader]) {
-        po_reach_[id] = 1;
-        break;
+    : nl_(&nl), sim_(nl), plan_(sim_.plan()) {
+  const std::size_t n = index_count();
+  po_reach_.assign(n, 0);
+  touched_.assign(n, 0);
+  rank_.resize(n);
+  if (plan_) {
+    // Slot order is the topological order, so the worklist rank is the slot
+    // id itself and reachability is one reverse sweep over the fanout CSR
+    // (which already excludes DFF readers — they block a single pass exactly
+    // as they do in BitSimulator::run).
+    std::iota(rank_.begin(), rank_.end(), 0);
+    for (SlotId po : plan_->output_slots()) po_reach_[po] = 1;
+    for (SlotId s = static_cast<SlotId>(n); s-- > 0;) {
+      if (po_reach_[s]) continue;
+      for (SlotId reader : plan_->fanout(s)) {
+        if (po_reach_[reader]) {
+          po_reach_[s] = 1;
+          break;
+        }
+      }
+    }
+  } else {
+    const std::vector<NodeId>& order = sim_.order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rank_[order[i]] = static_cast<std::uint32_t>(i);
+    }
+    // Static reachability: a fault effect at node x is observable only if
+    // some combinational path leads from x to a primary output; DFFs block a
+    // single-pass propagation exactly as they do in BitSimulator::run.
+    // Reverse topological order guarantees every combinational reader is
+    // resolved before the node itself.
+    for (NodeId po : nl.outputs()) po_reach_[po] = 1;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId id = *it;
+      if (po_reach_[id]) continue;
+      for (NodeId reader : nl.node(id).fanout) {
+        if (nl.is_alive(reader) && nl.node(reader).type != GateType::Dff &&
+            po_reach_[reader]) {
+          po_reach_[id] = 1;
+          break;
+        }
       }
     }
   }
+  worklist_.resize(n);
 }
 
 FaultSimEngine::FaultSimEngine(const Netlist& nl, const PatternSet& patterns)
@@ -46,22 +65,22 @@ void FaultSimEngine::set_patterns(const PatternSet& patterns) {
   good_ = sim_.run(patterns);
   words_ = patterns.num_words();
   tail_ = patterns.tail_mask();
-  faulty_.resize(nl_->raw_size() * words_);
+  faulty_.resize(index_count() * words_);
   bits_.assign(words_, 0);
 }
 
 bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
   if (want_bits) std::fill(bits_.begin(), bits_.end(), 0);
-  if (!nl_->is_alive(f.node) || !po_reach_[f.node] || words_ == 0) {
-    return false;
-  }
+  if (!nl_->is_alive(f.node) || words_ == 0) return false;
+  const std::uint32_t site = plan_ ? plan_->slot_of(f.node) : f.node;
+  if (!po_reach_[site]) return false;
 
   // Seed: inject the stuck value at the site. If no pattern excites the
   // fault (good value already equals the stuck value everywhere), nothing
   // can propagate — skip the whole cone.
   const std::uint64_t inject =
       f.value == StuckAt::One ? ~std::uint64_t{0} : 0;
-  const std::uint64_t* g = good_.row(f.node);
+  const std::uint64_t* g = good_row(site);
   std::uint64_t excited = 0;
   for (std::size_t w = 0; w < words_; ++w) {
     std::uint64_t diff = inject ^ g[w];
@@ -70,15 +89,19 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
   }
   if (!excited) return false;
 
-  std::uint64_t* site = frow(f.node);
-  for (std::size_t w = 0; w < words_; ++w) site[w] = inject;
+  std::uint64_t* site_row = frow(site);
+  for (std::size_t w = 0; w < words_; ++w) site_row[w] = inject;
   // Blend the padding lanes of the last word with the good row so the
   // event cascade below sees no phantom difference past the last pattern.
-  site[words_ - 1] = (inject & tail_) | (g[words_ - 1] & ~tail_);
-  touched_[f.node] = 1;
-  visited_.push_back(f.node);
+  site_row[words_ - 1] = (inject & tail_) | (g[words_ - 1] & ~tail_);
+  touched_[site] = 1;
+  visited_.push_back(site);
 
-  const auto schedule = [&](NodeId src) {
+  const auto schedule = [&](std::uint32_t src) {
+    if (plan_) {
+      for (SlotId reader : plan_->fanout(src)) worklist_.push(reader);
+      return;
+    }
     for (NodeId reader : nl_->node(src).fanout) {
       if (!nl_->is_alive(reader)) continue;
       const GateType t = nl_->node(reader).type;
@@ -86,31 +109,38 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
       worklist_.push(reader);
     }
   };
-  const auto value_of = [&](NodeId id) -> const std::uint64_t* {
-    return touched_[id] ? frow(id) : good_.row(id);
+  const auto value_of = [&](std::uint32_t ix) -> const std::uint64_t* {
+    return touched_[ix] ? frow(ix) : good_row(ix);
   };
 
   // Event-driven cone evaluation. The worklist pops in topological order, so
   // by the time a gate is evaluated all of its touched fanins are final; a
   // gate whose faulty row equals the good row generates no further events.
-  schedule(f.node);
+  schedule(site);
   while (!worklist_.empty()) {
-    const NodeId id = worklist_.pop();
-    std::uint64_t* out = frow(id);
-    eval_gate_row(nl_->node(id), words_, value_of, out);
-    const std::uint64_t* gr = good_.row(id);
+    const std::uint32_t ix = worklist_.pop();
+    std::uint64_t* out = frow(ix);
+    if (plan_) {
+      eval_plan_slot(*plan_, ix, words_, value_of, out);
+    } else {
+      eval_gate_row(nl_->node(ix), words_, value_of, out);
+    }
+    const std::uint64_t* gr = good_row(ix);
     std::uint64_t changed = 0;
     for (std::size_t w = 0; w < words_; ++w) changed |= out[w] ^ gr[w];
     if (!changed) continue;  // row not marked touched; readers see good_
-    touched_[id] = 1;
-    visited_.push_back(id);
-    schedule(id);
+    touched_[ix] = 1;
+    visited_.push_back(ix);
+    schedule(ix);
   }
 
   bool any = false;
-  for (NodeId po : nl_->outputs()) {
+  const std::size_t n_po =
+      plan_ ? plan_->output_slots().size() : nl_->outputs().size();
+  for (std::size_t o = 0; o < n_po; ++o) {
+    const std::uint32_t po = plan_ ? plan_->output_slots()[o] : nl_->outputs()[o];
     if (!touched_[po]) continue;
-    const std::uint64_t* gp = good_.row(po);
+    const std::uint64_t* gp = good_row(po);
     const std::uint64_t* fp = frow(po);
     for (std::size_t w = 0; w < words_; ++w) {
       std::uint64_t diff = gp[w] ^ fp[w];
@@ -122,7 +152,7 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
     }
   }
 done:
-  for (NodeId id : visited_) touched_[id] = 0;
+  for (std::uint32_t ix : visited_) touched_[ix] = 0;
   visited_.clear();
   return any;
 }

@@ -14,6 +14,12 @@
 //    still-undetected faults as patterns accumulate, which turns the ATPG
 //    deterministic phase from quadratic re-simulation into incremental work.
 //
+// On the compiled-plan path (TZ_EVAL_PLAN, default on) the cone walk indexes
+// sim/eval_plan.hpp slots: slot ids double as topological ranks, fanout
+// scheduling reads the plan's CSR and gates evaluate through the plan's
+// arity-specialized kernels instead of dereferencing Node objects. The
+// legacy Node-walking path is kept (TZ_EVAL_PLAN=0) and is bit-identical.
+//
 // The free functions in atpg/fault_sim.hpp are thin wrappers over this class.
 #pragma once
 
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "atpg/fault.hpp"
+#include "sim/eval_plan.hpp"
 #include "sim/patterns.hpp"
 #include "sim/rank_worklist.hpp"
 #include "sim/simulator.hpp"
@@ -64,18 +71,32 @@ class FaultSimEngine {
 
   /// Static reachability: false means no combinational path from `id` to any
   /// primary output exists, so no fault at `id` is ever detectable.
-  bool po_reachable(NodeId id) const { return po_reach_[id] != 0; }
+  bool po_reachable(NodeId id) const {
+    if (plan_) {
+      const SlotId s = plan_->slot_of(id);
+      return s != kNoSlot && po_reach_[s] != 0;
+    }
+    return po_reach_[id] != 0;
+  }
 
  private:
   /// Event-driven faulty-machine evaluation; leaves the detection bitmap in
   /// `bits_` when `want_bits`, else exits early on the first detecting word.
   bool simulate_fault(const Fault& f, bool want_bits);
 
-  std::uint64_t* frow(NodeId id) { return faulty_.data() + id * words_; }
+  /// Index space of the cone walk: plan slots when compiled, NodeIds else.
+  std::size_t index_count() const {
+    return plan_ ? plan_->num_slots() : nl_->raw_size();
+  }
+  std::uint64_t* frow(std::uint32_t ix) { return faulty_.data() + ix * words_; }
+  const std::uint64_t* good_row(std::uint32_t ix) const {
+    return plan_ ? good_.data() + std::size_t{ix} * words_ : good_.row(ix);
+  }
 
   const Netlist* nl_;
   BitSimulator sim_;
-  std::vector<std::uint32_t> rank_;  ///< topo rank per node (worklist order)
+  const EvalPlan* plan_;             ///< sim_'s plan (nullptr = legacy path)
+  std::vector<std::uint32_t> rank_;  ///< worklist order (identity over slots)
   std::vector<char> po_reach_;       ///< static cone -> PO reachability
   NodeValues good_;
   std::size_t words_ = 0;
@@ -83,7 +104,7 @@ class FaultSimEngine {
   // Per-fault scratch, reset via `visited_` so cost tracks the cone size.
   std::vector<std::uint64_t> faulty_;  ///< rows valid only where touched_
   std::vector<char> touched_;
-  std::vector<NodeId> visited_;  ///< touched rows to un-touch after a fault
+  std::vector<std::uint32_t> visited_;  ///< touched rows to un-touch
   RankWorklist worklist_{rank_};
   std::vector<std::uint64_t> bits_;  ///< detection bitmap of the last fault
 };

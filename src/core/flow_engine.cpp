@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <memory>
+#include <numeric>
 #include <stdexcept>
 #include <string>
 
@@ -33,18 +34,30 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
   }
   if (sequential_) return;
 
-  cap_ = nl.raw_size();
-  rank_.assign(cap_, 0);
-  BitSimulator sim(nl);
-  const std::vector<NodeId>& order = sim.order();
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    rank_[order[i]] = static_cast<std::uint32_t>(i);
+  node_cap_ = nl.raw_size();
+  if (eval_plan_enabled()) {
+    // Compiled path: one plan shared with the seeding simulator, so cached
+    // rows are dense slot-major and slot ids double as topological ranks.
+    plan_ = std::make_shared<EvalPlan>(nl);
+    cap_ = plan_->num_slots();
+    rank_.resize(cap_);
+    std::iota(rank_.begin(), rank_.end(), 0);
+  } else {
+    cap_ = nl.raw_size();
+    rank_.assign(cap_, 0);
+  }
+  BitSimulator sim(nl, plan_);
+  if (!plan_) {
+    const std::vector<NodeId>& order = sim.order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rank_[order[i]] = static_cast<std::uint32_t>(i);
+    }
   }
   recorded_po_ = nl.outputs();
 
   // Fused layout: every non-empty set occupies a contiguous word range of
-  // one node-major row, so a single cone pass judges the whole suite. Tail
-  // bits inside the row (each set's last-word padding) are masked by valid_.
+  // one row, so a single cone pass judges the whole suite. Tail bits inside
+  // the row (each set's last-word padding) are masked by valid_.
   segs_.reserve(suite.algorithms.size());
   for (const DefenderTestSet& ts : suite.algorithms) {
     if (ts.patterns.num_patterns() == 0) continue;
@@ -64,12 +77,19 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
     const SetSegment& sg = segs_[seg++];
     valid_[sg.offset + sg.words - 1] = ts.patterns.tail_mask();
     const NodeValues vals = sim.run(ts.patterns);
-    for (NodeId id = 0; id < cap_; ++id) {
-      if (!nl.is_alive(id)) continue;
-      const std::uint64_t* src = vals.row(id);
-      std::copy(src, src + sg.words,
-                rows_.data() + static_cast<std::size_t>(id) * words_ +
-                    sg.offset);
+    if (plan_) {
+      for (std::size_t s = 0; s < cap_; ++s) {
+        const std::uint64_t* src = vals.data() + s * sg.words;
+        std::copy(src, src + sg.words, rows_.data() + s * words_ + sg.offset);
+      }
+    } else {
+      for (NodeId id = 0; id < cap_; ++id) {
+        if (!nl.is_alive(id)) continue;
+        const std::uint64_t* src = vals.row(id);
+        std::copy(src, src + sg.words,
+                  rows_.data() + static_cast<std::size_t>(id) * words_ +
+                      sg.offset);
+      }
     }
     for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
       const auto g = ts.golden.words(o);
@@ -80,18 +100,36 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
 
 void SuiteOracle::grow() {
   const std::size_t n = nl_->raw_size();
-  if (n <= cap_) return;
-  rows_.resize(n * words_, 0);
-  for (NodeId id = static_cast<NodeId>(cap_); id < n; ++id) {
-    // Tie cells are the only new nodes oracle queries ever read (HT and
-    // dummy gates are judged before materialisation / have no readers).
-    if (nl_->is_alive(id) && nl_->node(id).type == GateType::Const1) {
-      std::fill_n(rows_.data() + static_cast<std::size_t>(id) * words_,
-                  words_, ~std::uint64_t{0});
+  if (n <= node_cap_) return;
+  if (plan_) {
+    // Plan patch: every new alive node becomes a source slot appended to the
+    // plan (never scheduled — tie cells are the only new nodes oracle
+    // queries ever read; HT and dummy gates are judged before
+    // materialisation / have no readers).
+    plan_->ensure_node_capacity(n);
+    for (NodeId id = static_cast<NodeId>(node_cap_); id < n; ++id) {
+      if (!nl_->is_alive(id)) continue;
+      const SlotId s = plan_->append_source(id);
+      rows_.resize((static_cast<std::size_t>(s) + 1) * words_, 0);
+      rank_.push_back(s);
+      if (nl_->node(id).type == GateType::Const1) {
+        std::fill_n(rows_.data() + static_cast<std::size_t>(s) * words_,
+                    words_, ~std::uint64_t{0});
+      }
     }
+    cap_ = plan_->num_slots();
+  } else {
+    rows_.resize(n * words_, 0);
+    for (NodeId id = static_cast<NodeId>(node_cap_); id < n; ++id) {
+      if (nl_->is_alive(id) && nl_->node(id).type == GateType::Const1) {
+        std::fill_n(rows_.data() + static_cast<std::size_t>(id) * words_,
+                    words_, ~std::uint64_t{0});
+      }
+    }
+    rank_.resize(n, 0);  // new nodes are sources here; never scheduled
+    cap_ = n;
   }
-  rank_.resize(n, 0);  // new nodes are sources here; never scheduled
-  cap_ = n;
+  node_cap_ = n;
 }
 
 void SuiteOracle::ensure_scratch(ConeScratch& cs) const {
@@ -100,24 +138,36 @@ void SuiteOracle::ensure_scratch(ConeScratch& cs) const {
   cs.worklist_.resize(cap_);
 }
 
-void SuiteOracle::schedule(NodeId id, ConeScratch& cs) const {
-  if (!nl_->is_alive(id)) return;
-  const GateType t = nl_->node(id).type;
-  if (t == GateType::Dff || t == GateType::Input) return;
-  cs.worklist_.push(id);
+void SuiteOracle::schedule_readers(std::uint32_t ix, ConeScratch& cs) const {
+  if (plan_) {
+    for (SlotId r : plan_->fanout(ix)) {
+      if (plan_->op(r) != EvalOp::Dead) cs.worklist_.push(r);
+    }
+    return;
+  }
+  for (NodeId r : nl_->node(ix).fanout) {
+    if (!nl_->is_alive(r)) continue;
+    const GateType t = nl_->node(r).type;
+    if (t == GateType::Dff || t == GateType::Input) continue;
+    cs.worklist_.push(r);
+  }
 }
 
 bool SuiteOracle::propagate(ConeScratch& cs) const {
-  const auto get = [&](NodeId f) -> const std::uint64_t* {
+  const auto get = [&](std::uint32_t f) -> const std::uint64_t* {
     return cs.touched_[f] ? scratch_row(cs, f) : cached_row(f);
   };
   // The worklist pops in topological order, so every touched fanin is final
   // by the time a gate evaluates; a gate whose row matches the cache on all
   // valid lanes (of every set at once) generates no further events.
   while (!cs.worklist_.empty()) {
-    const NodeId id = cs.worklist_.pop();
+    const std::uint32_t id = cs.worklist_.pop();
     std::uint64_t* out = scratch_row(cs, id);
-    eval_gate_row(nl_->node(id), words_, get, out);
+    if (plan_) {
+      eval_plan_slot(*plan_, id, words_, get, out);
+    } else {
+      eval_gate_row(nl_->node(id), words_, get, out);
+    }
     const std::uint64_t* cr = cached_row(id);
     std::uint64_t changed = 0;
     for (std::size_t w = 0; w < words_; ++w) {
@@ -126,14 +176,15 @@ bool SuiteOracle::propagate(ConeScratch& cs) const {
     if (!changed) continue;
     cs.touched_[id] = 1;
     cs.visited_.push_back(id);
-    for (NodeId r : nl_->node(id).fanout) schedule(r, cs);
+    schedule_readers(id, cs);
   }
 
   for (std::size_t o = 0; o < recorded_po_.size(); ++o) {
     const NodeId cur = nl_->outputs()[o];
-    if (!cs.touched_[cur] && cur == recorded_po_[o]) continue;
+    const std::uint32_t cix = ix(cur);
+    if (!cs.touched_[cix] && cur == recorded_po_[o]) continue;
     const std::uint64_t* got =
-        cs.touched_[cur] ? scratch_row(cs, cur) : cached_row(cur);
+        cs.touched_[cix] ? scratch_row(cs, cix) : cached_row(cix);
     const std::uint64_t* want = golden_.data() + o * words_;
     for (std::size_t w = 0; w < words_; ++w) {
       if ((got[w] ^ want[w]) & valid_[w]) return true;
@@ -149,18 +200,19 @@ void SuiteOracle::clear_marks(ConeScratch& cs) const {
 
 bool SuiteOracle::seed_tie(NodeId target, bool value, ConeScratch& cs) const {
   const std::uint64_t cval = value ? ~std::uint64_t{0} : 0;
+  const std::uint32_t tix = ix(target);
   // Excitation fast path: the tied node already evaluated to the constant
   // on every valid lane of every set — nothing downstream can change.
-  const std::uint64_t* tr = cached_row(target);
+  const std::uint64_t* tr = cached_row(tix);
   std::uint64_t diff = 0;
   for (std::size_t w = 0; w < words_; ++w) diff |= (tr[w] ^ cval) & valid_[w];
   if (!diff) return false;
   // Force the constant at the target and re-evaluate its readers: exactly
   // the function the netlist computes once the tie is applied.
-  std::fill_n(scratch_row(cs, target), words_, cval);
-  cs.touched_[target] = 1;
-  cs.visited_.push_back(target);
-  for (NodeId r : nl_->node(target).fanout) schedule(r, cs);
+  std::fill_n(scratch_row(cs, tix), words_, cval);
+  cs.touched_[tix] = 1;
+  cs.visited_.push_back(tix);
+  schedule_readers(tix, cs);
   return true;
 }
 
@@ -182,6 +234,9 @@ bool SuiteOracle::tie_visible(NodeId target, bool value) {
 
 void SuiteOracle::commit_tie(NodeId target, bool value) {
   grow();
+  // The structural tie_to_constant follows this call; remember the target so
+  // resync_structure() can patch the plan (reader fanins, swept cone).
+  if (plan_) pending_ties_.push_back(target);
   ConeScratch& cs = self_;
   ensure_scratch(cs);
   if (words_ == 0) return;
@@ -189,7 +244,7 @@ void SuiteOracle::commit_tie(NodeId target, bool value) {
   if (!propagate(cs)) {
     // Invisible as promised: fold the deviating rows into the cache so later
     // candidates are judged against the updated netlist.
-    for (NodeId id : cs.visited_) {
+    for (std::uint32_t id : cs.visited_) {
       std::copy(scratch_row(cs, id), scratch_row(cs, id) + words_,
                 rows_.data() + static_cast<std::size_t>(id) * words_);
     }
@@ -200,6 +255,38 @@ void SuiteOracle::commit_tie(NodeId target, bool value) {
 void SuiteOracle::resync_structure() {
   if (sequential_) return;
   grow();
+  if (plan_) {
+    // Incremental plan patch for the ties committed since the last resync:
+    // the netlist now reads the tie cell (appended as a source slot by
+    // grow()) wherever it read the target, and the target plus its
+    // newly-unread fanin cone were swept. Rewrite the recorded readers'
+    // fanin CSR rows in place and tombstone the dead region — exactly the
+    // structure a from-scratch recompile would produce, without paying for
+    // one per committed candidate.
+    for (NodeId target : pending_ties_) {
+      const SlotId ts = plan_->slot_of(target);
+      // The fanout CSR still records the pre-tie readers of the target.
+      for (SlotId r : plan_->fanout(ts)) {
+        if (plan_->op(r) != EvalOp::Dead &&
+            nl_->is_alive(plan_->node_of(r))) {
+          plan_->refresh_fanins(r, *nl_);
+        }
+      }
+      // The swept cone is the transitive fanin region of the target that
+      // lost its last reader: walk fanin edges from the target, tombstoning
+      // every node the sweep removed, and stop at survivors.
+      std::vector<SlotId> stack{ts};
+      while (!stack.empty()) {
+        const SlotId s = stack.back();
+        stack.pop_back();
+        if (plan_->op(s) == EvalOp::Dead) continue;
+        if (nl_->is_alive(plan_->node_of(s))) continue;
+        for (SlotId f : plan_->fanins(s)) stack.push_back(f);
+        plan_->kill(s);
+      }
+    }
+    pending_ties_.clear();
+  }
   recorded_po_ = nl_->outputs();
 }
 
@@ -208,7 +295,7 @@ bool SuiteOracle::payload_fires(std::span<const NodeId> trigger_nets,
   // Trigger condition per pattern: AND over the tapped rare nets.
   cs.trig_.assign(words_, ~std::uint64_t{0});
   for (NodeId r : trigger_nets) {
-    const std::uint64_t* row = cached_row(r);
+    const std::uint64_t* row = cached_row(ix(r));
     for (std::size_t w = 0; w < words_; ++w) cs.trig_[w] &= row[w];
   }
   for (std::size_t w = 0; w < words_; ++w) cs.trig_[w] &= valid_[w];
@@ -252,12 +339,13 @@ bool SuiteOracle::ht_visible(std::span<const NodeId> trigger_nets,
   if (!payload_fires(trigger_nets, counter_bits, cs)) return false;
   // The payload MUX rewires the victim's readers to v XOR fire; propagate
   // the masked deviation through the victim's fanout cone.
-  std::uint64_t* fr = scratch_row(cs, victim);
-  const std::uint64_t* vr = cached_row(victim);
+  const std::uint32_t vix = ix(victim);
+  std::uint64_t* fr = scratch_row(cs, vix);
+  const std::uint64_t* vr = cached_row(vix);
   for (std::size_t w = 0; w < words_; ++w) fr[w] = vr[w] ^ cs.fire_[w];
-  cs.touched_[victim] = 1;
-  cs.visited_.push_back(victim);
-  for (NodeId r : nl_->node(victim).fanout) schedule(r, cs);
+  cs.touched_[vix] = 1;
+  cs.visited_.push_back(vix);
+  schedule_readers(vix, cs);
   const bool any = propagate(cs);
   clear_marks(cs);
   return any;

@@ -42,11 +42,14 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "atpg/test_set.hpp"
 #include "core/insertion.hpp"
 #include "core/salvage.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/rewrite.hpp"
+#include "sim/eval_plan.hpp"
 #include "sim/rank_worklist.hpp"
 #include "tech/power_model.hpp"
 #include "tech/power_tracker.hpp"
@@ -76,6 +79,16 @@ class ConeScratch {
 /// owned by the caller; structural edits are reported through the tie/commit
 /// API. Only combinational netlists are cached — construction on a netlist
 /// with DFFs sets sequential() and the caller falls back to functional_test.
+///
+/// On the compiled-plan path (TZ_EVAL_PLAN, default on) the oracle indexes
+/// sim/eval_plan.hpp slots: cached rows are slot-major, slot ids double as
+/// topological ranks and the fused cone pass evaluates through the plan's
+/// arity-specialized kernels. resync_structure() patches the plan
+/// incrementally for committed ties and rolled-back HT/dummy ranges (append
+/// the tie cell as a source slot, rewrite the readers' fanin CSR in place,
+/// tombstone the swept cone), so per-candidate judging never recompiles the
+/// plan. TZ_EVAL_PLAN=0 keeps the legacy Node-walking path; both are
+/// bit-identical.
 ///
 /// Thread safety: the const overloads of tie_visible / ht_visible are pure
 /// reads of the shared core plus writes into the caller-provided scratch, so
@@ -136,13 +149,20 @@ class SuiteOracle {
 
   void grow();
   void ensure_scratch(ConeScratch& cs) const;
-  const std::uint64_t* cached_row(NodeId id) const {
-    return rows_.data() + static_cast<std::size_t>(id) * words_;
+  /// Row index of a node: its plan slot on the compiled path, the NodeId on
+  /// the legacy path. Every internal row/mark array is keyed by this.
+  std::uint32_t ix(NodeId id) const {
+    return plan_ ? plan_->slot_of(id) : id;
   }
-  std::uint64_t* scratch_row(ConeScratch& cs, NodeId id) const {
-    return cs.rows_.data() + static_cast<std::size_t>(id) * words_;
+  const std::uint64_t* cached_row(std::uint32_t ix) const {
+    return rows_.data() + static_cast<std::size_t>(ix) * words_;
   }
-  void schedule(NodeId id, ConeScratch& cs) const;
+  std::uint64_t* scratch_row(ConeScratch& cs, std::uint32_t ix) const {
+    return cs.rows_.data() + static_cast<std::size_t>(ix) * words_;
+  }
+  /// Schedule the combinational readers of row `ix` (plan fanout CSR or
+  /// netlist fanout walk).
+  void schedule_readers(std::uint32_t ix, ConeScratch& cs) const;
   /// Event-driven fused-cone evaluation from the pre-seeded worklist/forced
   /// rows; returns true when a primary-output row deviates from golden on
   /// any valid lane. Leaves cs touched/visited marks set for the caller.
@@ -160,14 +180,17 @@ class SuiteOracle {
   const Netlist* nl_;
   const DefenderSuite* suite_;
   bool sequential_ = false;
-  std::size_t cap_ = 0;    ///< node capacity of rows/scratch
-  std::size_t words_ = 0;  ///< fused row width: sum of set widths
+  std::shared_ptr<EvalPlan> plan_;  ///< nullptr = legacy Node-walking path
+  std::size_t cap_ = 0;       ///< row-index capacity of rows/scratch
+  std::size_t node_cap_ = 0;  ///< raw node ids covered by grow()
+  std::size_t words_ = 0;     ///< fused row width: sum of set widths
   std::vector<SetSegment> segs_;
   std::vector<std::uint64_t> valid_;   ///< per fused word: valid-lane mask
-  std::vector<std::uint64_t> rows_;    ///< node-major fused cache
+  std::vector<std::uint64_t> rows_;    ///< row-index-major fused cache
   std::vector<std::uint64_t> golden_;  ///< output-major fused expected rows
   std::vector<NodeId> recorded_po_;    ///< outputs() as of the cached state
-  std::vector<std::uint32_t> rank_;
+  std::vector<NodeId> pending_ties_;   ///< committed ties awaiting plan patch
+  std::vector<std::uint32_t> rank_;    ///< identity over slots on the plan path
   ConeScratch self_{*this};  ///< scratch for the single-threaded API
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/ht_library.hpp"
+#include "tech/power_tracker.hpp"
 
 namespace tz {
 namespace {
@@ -45,14 +46,21 @@ DetectionResult detect_leakage_glc(const Netlist& golden_nl,
                                    const Netlist& dut_nl,
                                    const PowerModel& pm,
                                    const PowerDetectOptions& opt) {
+  return detect_leakage_glc(golden_nl, dut_nl, pm.analyze(golden_nl),
+                            pm.analyze(dut_nl), opt);
+}
+
+DetectionResult detect_leakage_glc(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerBreakdown& golden_nom,
+                                   const PowerBreakdown& dut_nom,
+                                   const PowerDetectOptions& opt) {
   if (opt.golden_dies == 0 || opt.dut_dies == 0) {
     // 0-die populations used to divide into NaN means, and a NaN statistic
     // silently compared as "not detected".
     throw std::invalid_argument(
         "detect_leakage_glc: golden_dies and dut_dies must be >= 1");
   }
-  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
-  const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   const double claimed = golden_nom.totals.leakage_uw;
   VariationModel vm(opt.variation, opt.seed);
 
@@ -93,16 +101,22 @@ double min_detectable_leakage_overhead(const Netlist& golden_nl,
         "min_detectable_leakage_overhead: netlist has no primary inputs to "
         "attach additive gates to");
   }
+  // Golden analysis once, DUT rows via incremental PowerTracker deltas
+  // (bit-parity with a from-scratch analyze) — the sweep no longer pays two
+  // full analyze -> SignalProb passes per candidate gate count.
   Netlist dut = golden_nl;
-  const double base = pm.analyze(golden_nl).totals.leakage_uw;
+  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
+  const double base = golden_nom.totals.leakage_uw;
+  PowerTracker tracker(dut, pm);
   for (int gates = 1; gates <= 256; ++gates) {
     const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
-    add_dummy_gate(dut, pi, GateType::Nand, "add_ht");
+    add_swept_gate(dut, tracker, pi, GateType::Nand);
     PowerDetectOptions o = opt;
     o.seed = opt.seed + static_cast<std::uint64_t>(gates);
-    const DetectionResult r = detect_leakage_glc(golden_nl, dut, pm, o);
+    const DetectionResult r =
+        detect_leakage_glc(golden_nl, dut, golden_nom, tracker.breakdown(), o);
     if (r.detected) {
-      const double now = pm.analyze(dut).totals.leakage_uw;
+      const double now = tracker.totals().leakage_uw;
       return 100.0 * (now - base) / base;
     }
   }

@@ -19,6 +19,15 @@ DetectionResult detect_leakage_glc(const Netlist& golden_nl,
                                    const PowerModel& pm,
                                    const PowerDetectOptions& opt = {});
 
+/// Overload on precomputed nominal breakdowns (see detect_dynamic_power):
+/// skips the per-call analyze -> SignalProb when the caller maintains the
+/// DUT rows incrementally. Bit-identical when the breakdowns match.
+DetectionResult detect_leakage_glc(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerBreakdown& golden_nom,
+                                   const PowerBreakdown& dut_nom,
+                                   const PowerDetectOptions& opt = {});
+
 /// Fig. 3 support: smallest additive-HT leakage overhead (%) this detector
 /// reliably flags.
 double min_detectable_leakage_overhead(const Netlist& golden_nl,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/ht_library.hpp"
+#include "tech/power_tracker.hpp"
 
 namespace tz {
 namespace {
@@ -31,7 +32,9 @@ Population stats(const std::vector<double>& xs) {
 }
 
 DetectionResult population_test(const Netlist& golden_nl,
-                                const Netlist& dut_nl, const PowerModel& pm,
+                                const Netlist& dut_nl,
+                                const PowerBreakdown& golden_nom,
+                                const PowerBreakdown& dut_nom,
                                 const PowerDetectOptions& opt, bool total) {
   if (opt.golden_dies == 0 || opt.dut_dies == 0) {
     // 0/0 die populations used to divide through the SEM into NaN, and a NaN
@@ -39,8 +42,6 @@ DetectionResult population_test(const Netlist& golden_nl,
     throw std::invalid_argument(
         "population_test: golden_dies and dut_dies must be >= 1");
   }
-  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
-  const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   VariationModel vm(opt.variation, opt.seed);
 
   auto draw = [&](const Netlist& nl, const PowerBreakdown& nom,
@@ -93,14 +94,46 @@ DetectionResult detect_dynamic_power(const Netlist& golden_nl,
                                      const Netlist& dut_nl,
                                      const PowerModel& pm,
                                      const PowerDetectOptions& opt) {
-  return population_test(golden_nl, dut_nl, pm, opt, /*total=*/false);
+  return population_test(golden_nl, dut_nl, pm.analyze(golden_nl),
+                         pm.analyze(dut_nl), opt, /*total=*/false);
+}
+
+DetectionResult detect_dynamic_power(const Netlist& golden_nl,
+                                     const Netlist& dut_nl,
+                                     const PowerBreakdown& golden_nom,
+                                     const PowerBreakdown& dut_nom,
+                                     const PowerDetectOptions& opt) {
+  return population_test(golden_nl, dut_nl, golden_nom, dut_nom, opt,
+                         /*total=*/false);
 }
 
 DetectionResult detect_total_power(const Netlist& golden_nl,
                                    const Netlist& dut_nl,
                                    const PowerModel& pm,
                                    const PowerDetectOptions& opt) {
-  return population_test(golden_nl, dut_nl, pm, opt, /*total=*/true);
+  return population_test(golden_nl, dut_nl, pm.analyze(golden_nl),
+                         pm.analyze(dut_nl), opt, /*total=*/true);
+}
+
+DetectionResult detect_total_power(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerBreakdown& golden_nom,
+                                   const PowerBreakdown& dut_nom,
+                                   const PowerDetectOptions& opt) {
+  return population_test(golden_nl, dut_nl, golden_nom, dut_nom, opt,
+                         /*total=*/true);
+}
+
+void add_swept_gate(Netlist& dut, PowerTracker& tracker, NodeId src,
+                    GateType type) {
+  const std::size_t size_before = dut.raw_size();
+  add_dummy_gate(dut, src, type, "add_ht");
+  std::vector<NodeId> fresh;
+  for (NodeId id = static_cast<NodeId>(size_before); id < dut.raw_size();
+       ++id) {
+    fresh.push_back(id);
+  }
+  tracker.resync(fresh, {{src}});
 }
 
 double min_detectable_dynamic_overhead(const Netlist& golden_nl,
@@ -112,17 +145,23 @@ double min_detectable_dynamic_overhead(const Netlist& golden_nl,
         "attach additive gates to");
   }
   // Attach additive always-on gates (classic additive HT model) one at a
-  // time until the detector flags the die population.
+  // time until the detector flags the die population. The golden analysis is
+  // computed once and the DUT rows are maintained incrementally by a
+  // PowerTracker (bit-parity with a from-scratch analyze), so each step of
+  // the sweep costs one gate delta instead of two full analyses.
   Netlist dut = golden_nl;
-  const double base = pm.analyze(golden_nl).totals.dynamic_uw;
+  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
+  const double base = golden_nom.totals.dynamic_uw;
+  PowerTracker tracker(dut, pm);
   for (int gates = 1; gates <= 256; ++gates) {
     const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
-    add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+    add_swept_gate(dut, tracker, pi, GateType::Xor);
     PowerDetectOptions o = opt;
     o.seed = opt.seed + static_cast<std::uint64_t>(gates);
-    const DetectionResult r = detect_dynamic_power(golden_nl, dut, pm, o);
+    const DetectionResult r =
+        detect_dynamic_power(golden_nl, dut, golden_nom, tracker.breakdown(), o);
     if (r.detected) {
-      const double now = pm.analyze(dut).totals.dynamic_uw;
+      const double now = tracker.totals().dynamic_uw;
       return 100.0 * (now - base) / base;
     }
   }

@@ -12,6 +12,8 @@
 
 namespace tz {
 
+class PowerTracker;
+
 struct DetectionResult {
   bool detected = false;
   double statistic = 0.0;   ///< Normalized test statistic (sigmas).
@@ -45,11 +47,35 @@ DetectionResult detect_dynamic_power(const Netlist& golden_nl,
                                      const PowerModel& pm,
                                      const PowerDetectOptions& opt = {});
 
+/// Overload on precomputed nominal breakdowns (exactly what
+/// PowerModel::analyze would return for each netlist): the die population is
+/// sampled from the cached per-node rows, so sweeps that perturb a DUT one
+/// gate at a time (min_detectable_* with an incremental PowerTracker) skip
+/// the per-step analyze -> SignalProb fixpoint. Bit-identical to the
+/// analyzing overload when the breakdowns match.
+DetectionResult detect_dynamic_power(const Netlist& golden_nl,
+                                     const Netlist& dut_nl,
+                                     const PowerBreakdown& golden_nom,
+                                     const PowerBreakdown& dut_nom,
+                                     const PowerDetectOptions& opt = {});
+
 /// Same machinery on total power (dynamic + leakage).
 DetectionResult detect_total_power(const Netlist& golden_nl,
                                    const Netlist& dut_nl,
                                    const PowerModel& pm,
                                    const PowerDetectOptions& opt = {});
+
+DetectionResult detect_total_power(const Netlist& golden_nl,
+                                   const Netlist& dut_nl,
+                                   const PowerBreakdown& golden_nom,
+                                   const PowerBreakdown& dut_nom,
+                                   const PowerDetectOptions& opt = {});
+
+/// One step of a min_detectable_* sweep, shared by all three detectors:
+/// attach one additive always-on dummy gate of `type` fed by `src` to `dut`
+/// and resync `tracker` over the appended node range.
+void add_swept_gate(Netlist& dut, PowerTracker& tracker, NodeId src,
+                    GateType type);
 
 /// Fig. 3 support: smallest additive-HT dynamic-power overhead (in % of the
 /// golden total) this detector reliably flags. Determined by sweeping

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/ht_library.hpp"
+#include "tech/power_tracker.hpp"
 
 namespace tz {
 namespace {
@@ -69,6 +70,15 @@ Gaussian2 fit(const std::vector<Feature>& xs) {
 DetectionResult detect_statistical_learning(
     const Netlist& golden_nl, const Netlist& dut_nl, const PowerModel& pm,
     const LearningDetectOptions& opt) {
+  return detect_statistical_learning(golden_nl, dut_nl,
+                                     pm.analyze(golden_nl),
+                                     pm.analyze(dut_nl), opt);
+}
+
+DetectionResult detect_statistical_learning(
+    const Netlist& golden_nl, const Netlist& dut_nl,
+    const PowerBreakdown& golden_nom, const PowerBreakdown& dut_nom,
+    const LearningDetectOptions& opt) {
   // Degenerate populations used to flow NaN into the result: golden_dies < 2
   // breaks the covariance fit, dut_dies == 0 divides the per-die averages by
   // zero. Fail loudly instead.
@@ -80,8 +90,6 @@ DetectionResult detect_statistical_learning(
     throw std::invalid_argument(
         "detect_statistical_learning: dut_dies must be >= 1");
   }
-  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
-  const PowerBreakdown dut_nom = pm.analyze(dut_nl);
   VariationModel vm(opt.base.variation, opt.base.seed);
 
   std::vector<Feature> train;
@@ -130,17 +138,22 @@ double min_detectable_area_overhead(const Netlist& golden_nl,
         "min_detectable_area_overhead: netlist has no primary inputs to "
         "attach additive gates to");
   }
+  // Golden analysis once, DUT rows via incremental PowerTracker deltas
+  // (bit-parity with a from-scratch analyze) — the sweep no longer pays two
+  // full analyze -> SignalProb passes per candidate gate count.
   Netlist dut = golden_nl;
-  const double base = pm.analyze(golden_nl).totals.area_ge;
+  const PowerBreakdown golden_nom = pm.analyze(golden_nl);
+  const double base = golden_nom.totals.area_ge;
+  PowerTracker tracker(dut, pm);
   for (int gates = 1; gates <= 256; ++gates) {
     const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
-    add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+    add_swept_gate(dut, tracker, pi, GateType::Xor);
     LearningDetectOptions o = opt;
     o.base.seed = opt.base.seed + static_cast<std::uint64_t>(gates);
-    const DetectionResult r =
-        detect_statistical_learning(golden_nl, dut, pm, o);
+    const DetectionResult r = detect_statistical_learning(
+        golden_nl, dut, golden_nom, tracker.breakdown(), o);
     if (r.detected) {
-      const double now = pm.analyze(dut).totals.area_ge;
+      const double now = tracker.totals().area_ge;
       return 100.0 * (now - base) / base;
     }
   }

@@ -21,6 +21,14 @@ DetectionResult detect_statistical_learning(
     const Netlist& golden_nl, const Netlist& dut_nl, const PowerModel& pm,
     const LearningDetectOptions& opt = {});
 
+/// Overload on precomputed nominal breakdowns (see detect_dynamic_power):
+/// skips the per-call analyze -> SignalProb when the caller maintains the
+/// DUT rows incrementally. Bit-identical when the breakdowns match.
+DetectionResult detect_statistical_learning(
+    const Netlist& golden_nl, const Netlist& dut_nl,
+    const PowerBreakdown& golden_nom, const PowerBreakdown& dut_nom,
+    const LearningDetectOptions& opt = {});
+
 /// Fig. 3 support: smallest additive-HT *area* overhead (%) whose power
 /// signature this classifier reliably flags.
 double min_detectable_area_overhead(const Netlist& golden_nl,

@@ -1,0 +1,322 @@
+// Compiled flat evaluation plan shared by the bit-parallel engines.
+//
+// An EvalPlan flattens the alive nodes of a netlist into dense topo-ordered
+// slots: a per-slot opcode stream with arity-specialized entries (dedicated
+// 2-input AND/NAND/OR/NOR/XOR/XNOR, NOT/BUF/MUX, generic N-ary fallback) and
+// CSR fanin/fanout slot arrays in single contiguous allocations. Evaluating a
+// netlist becomes a straight walk of the opcode stream over a slot-major
+// value matrix — no Node dereferences, no per-node std::vector fanin heaps on
+// the hottest loop — and wide pattern sets are processed in word stripes
+// sized so the streaming working set stays inside the fast cache levels.
+//
+// The slot order IS the topological order, so slot ids double as topological
+// ranks for the event-driven engines (fault simulation, the suite oracle):
+// their rank worklists pop plan slots and evaluate through eval_plan_slot
+// instead of walking Node objects. sim/gate_eval.hpp stays as the reference
+// kernel; the parity tests check the plan against it bit for bit.
+//
+// Plans support incremental patching (SuiteOracle::resync_structure): an
+// accepted tie appends the tie cell as a source slot, rewrites the readers'
+// fanin CSR entries in place and tombstones the swept cone's slots, so
+// per-candidate judging never recompiles the plan.
+//
+// The TZ_EVAL_PLAN environment variable (default on; set 0 to disable)
+// selects between the compiled-plan path and the legacy Node-walking path in
+// every engine; both produce bit-identical results.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace tz {
+
+/// Dense topo-ordered slot index of a compiled plan.
+using SlotId = std::uint32_t;
+inline constexpr SlotId kNoSlot = static_cast<SlotId>(-1);
+
+/// Opcode stream entries. Arity-2 gates get dedicated opcodes (the dominant
+/// case in ISCAS-class netlists); wider gates fall back to the N-ary loops.
+enum class EvalOp : std::uint8_t {
+  Source,  ///< PI, DFF output or patched-in tie cell: row filled by caller.
+  Const0,
+  Const1,
+  Buf,
+  Not,
+  And2,
+  Nand2,
+  Or2,
+  Nor2,
+  Xor2,
+  Xnor2,
+  Mux,  ///< fanin = {sel, a, b}; out = sel ? b : a.
+  AndN,
+  NandN,
+  OrN,
+  NorN,
+  XorN,
+  XnorN,
+  Dead,  ///< Patched-out slot (swept cone): never evaluated or scheduled.
+};
+
+/// Plan path on/off: TZ_EVAL_PLAN env (default on; "0" disables), overridable
+/// in-process for A/B tests. Engines capture the mode at construction.
+bool eval_plan_enabled();
+/// Test hook: 0 = force legacy, 1 = force plan, -1 = back to the env var.
+void set_eval_plan_enabled(int mode);
+
+class EvalPlan {
+ public:
+  /// Compile from the netlist's topological order (computed internally).
+  explicit EvalPlan(const Netlist& nl);
+  /// Compile reusing an already-computed topo order over the live nodes.
+  EvalPlan(const Netlist& nl, const std::vector<NodeId>& topo);
+
+  std::size_t num_slots() const { return ops_.size(); }
+  SlotId slot_of(NodeId id) const {
+    return id < slot_of_.size() ? slot_of_[id] : kNoSlot;
+  }
+  NodeId node_of(SlotId s) const { return node_of_[s]; }
+  EvalOp op(SlotId s) const { return ops_[s]; }
+
+  std::span<const SlotId> fanins(SlotId s) const {
+    return {fanin_slots_.data() + fanin_offset_[s],
+            fanin_offset_[s + 1] - fanin_offset_[s]};
+  }
+  /// Combinational readers only: Input/DFF readers are compiled out, exactly
+  /// matching the engines' scheduling skip.
+  std::span<const SlotId> fanout(SlotId s) const {
+    return {fanout_slots_.data() + fanout_offset_[s],
+            fanout_offset_[s + 1] - fanout_offset_[s]};
+  }
+
+  const std::vector<SlotId>& input_slots() const { return input_slots_; }
+  const std::vector<SlotId>& dff_slots() const { return dff_slots_; }
+  const std::vector<SlotId>& output_slots() const { return output_slots_; }
+
+  /// The compiled slots' nodes in slot order — the topological order the
+  /// plan was built from (plus any appended source slots). Lets owners reuse
+  /// the sort instead of recomputing it.
+  const std::vector<NodeId>& topo_nodes() const { return node_of_; }
+
+  /// Raw accessors for the hot loops (avoid span re-construction per gate).
+  const EvalOp* ops_data() const { return ops_.data(); }
+  const std::uint32_t* fanin_offsets_data() const {
+    return fanin_offset_.data();
+  }
+  const SlotId* fanin_slots_data() const { return fanin_slots_.data(); }
+
+  /// Full evaluation: walk the opcode stream over the slot-major matrix
+  /// `values` (num_slots rows of `words` machine words). Source slot rows
+  /// must be pre-filled by the caller; Const slots are filled by the walk.
+  /// Every non-source slot row is fully written before any reader reads it,
+  /// so the matrix may be allocated uninitialized. Wide rows are processed
+  /// in cache-sized word stripes (see block_words).
+  void evaluate(std::uint64_t* values, std::size_t words) const;
+
+  /// Stripe width used by evaluate() for a given row width: the widest
+  /// stripe whose slot-major working set stays cache-resident, floored so
+  /// the per-stripe opcode/CSR walk amortizes over enough words.
+  std::size_t block_words(std::size_t words) const;
+
+  // ---- incremental patching (SuiteOracle::resync_structure) ----
+
+  /// Grow slot_of() coverage to `raw_size` node ids (new ids map to kNoSlot).
+  void ensure_node_capacity(std::size_t raw_size);
+
+  /// Append a source slot for a node added after compilation (tie cells).
+  /// The slot has no fanin/fanout; its row is filled by the owner.
+  SlotId append_source(NodeId id);
+
+  /// Tombstone a slot whose node was removed. Fanin/fanout CSR entries are
+  /// left in place; evaluation and scheduling skip Dead opcodes.
+  void kill(SlotId s);
+
+  /// Re-read `s`'s fanin list from the netlist after readers were relinked
+  /// (arity is unchanged by relink_fanin, so the CSR row is rewritten in
+  /// place). Every fanin must already have a slot.
+  void refresh_fanins(SlotId s, const Netlist& nl);
+
+ private:
+  void compile(const Netlist& nl, const std::vector<NodeId>& topo);
+  void evaluate_block(std::uint64_t* values, std::size_t words,
+                      std::size_t w0, std::size_t bw) const;
+  void evaluate_scalar(std::uint64_t* values) const;
+
+  std::vector<EvalOp> ops_;
+  std::vector<NodeId> node_of_;
+  std::vector<SlotId> slot_of_;
+  std::vector<std::uint32_t> fanin_offset_;   ///< num_slots + 1 entries
+  std::vector<SlotId> fanin_slots_;           ///< one contiguous allocation
+  std::vector<std::uint32_t> fanout_offset_;  ///< num_slots + 1 entries
+  std::vector<SlotId> fanout_slots_;
+  std::vector<SlotId> input_slots_, dff_slots_, output_slots_;
+};
+
+/// Evaluate one plan slot over a row of `words` packed words — the
+/// event-driven engines' kernel. `get` maps SlotId -> const row pointer;
+/// `out` must not alias any fanin row. Bit-identical to eval_gate_row on the
+/// corresponding Node (the parity tests enforce this).
+template <typename GetRow>
+inline void eval_plan_slot(const EvalPlan& p, SlotId s, std::size_t words,
+                           GetRow&& get, std::uint64_t* __restrict out) {
+  const EvalOp op = p.op(s);
+  const std::uint32_t* offs = p.fanin_offsets_data();
+  const SlotId* f = p.fanin_slots_data() + offs[s];
+  const std::size_t arity = offs[s + 1] - offs[s];
+  if (words == 1) {
+    // Register accumulation beats the vectorized row loops at one word.
+    std::uint64_t v;
+    switch (op) {
+      case EvalOp::Const0: v = 0; break;
+      case EvalOp::Const1: v = ~std::uint64_t{0}; break;
+      case EvalOp::Buf: v = *get(f[0]); break;
+      case EvalOp::Not: v = ~*get(f[0]); break;
+      case EvalOp::And2: v = *get(f[0]) & *get(f[1]); break;
+      case EvalOp::Nand2: v = ~(*get(f[0]) & *get(f[1])); break;
+      case EvalOp::Or2: v = *get(f[0]) | *get(f[1]); break;
+      case EvalOp::Nor2: v = ~(*get(f[0]) | *get(f[1])); break;
+      case EvalOp::Xor2: v = *get(f[0]) ^ *get(f[1]); break;
+      case EvalOp::Xnor2: v = ~(*get(f[0]) ^ *get(f[1])); break;
+      case EvalOp::Mux: {
+        const std::uint64_t sel = *get(f[0]);
+        v = (~sel & *get(f[1])) | (sel & *get(f[2]));
+        break;
+      }
+      case EvalOp::AndN:
+      case EvalOp::NandN: {
+        v = *get(f[0]);
+        for (std::size_t i = 1; i < arity; ++i) v &= *get(f[i]);
+        if (op == EvalOp::NandN) v = ~v;
+        break;
+      }
+      case EvalOp::OrN:
+      case EvalOp::NorN: {
+        v = *get(f[0]);
+        for (std::size_t i = 1; i < arity; ++i) v |= *get(f[i]);
+        if (op == EvalOp::NorN) v = ~v;
+        break;
+      }
+      case EvalOp::XorN:
+      case EvalOp::XnorN: {
+        v = *get(f[0]);
+        for (std::size_t i = 1; i < arity; ++i) v ^= *get(f[i]);
+        if (op == EvalOp::XnorN) v = ~v;
+        break;
+      }
+      default:
+        throw std::logic_error("eval_plan_slot: source/dead slot");
+    }
+    *out = v;
+    return;
+  }
+  switch (op) {
+    case EvalOp::Const0:
+      for (std::size_t w = 0; w < words; ++w) out[w] = 0;
+      break;
+    case EvalOp::Const1:
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~std::uint64_t{0};
+      break;
+    case EvalOp::Buf: {
+      const std::uint64_t* a = get(f[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      break;
+    }
+    case EvalOp::Not: {
+      const std::uint64_t* a = get(f[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~a[w];
+      break;
+    }
+    case EvalOp::And2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w] & b[w];
+      break;
+    }
+    case EvalOp::Nand2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~(a[w] & b[w]);
+      break;
+    }
+    case EvalOp::Or2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w] | b[w];
+      break;
+    }
+    case EvalOp::Nor2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~(a[w] | b[w]);
+      break;
+    }
+    case EvalOp::Xor2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w] ^ b[w];
+      break;
+    }
+    case EvalOp::Xnor2: {
+      const std::uint64_t* a = get(f[0]);
+      const std::uint64_t* b = get(f[1]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = ~(a[w] ^ b[w]);
+      break;
+    }
+    case EvalOp::Mux: {
+      const std::uint64_t* sel = get(f[0]);
+      const std::uint64_t* a = get(f[1]);
+      const std::uint64_t* b = get(f[2]);
+      for (std::size_t w = 0; w < words; ++w) {
+        out[w] = (~sel[w] & a[w]) | (sel[w] & b[w]);
+      }
+      break;
+    }
+    case EvalOp::AndN:
+    case EvalOp::NandN: {
+      const std::uint64_t* a = get(f[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < arity; ++i) {
+        const std::uint64_t* b = get(f[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] &= b[w];
+      }
+      if (op == EvalOp::NandN) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    case EvalOp::OrN:
+    case EvalOp::NorN: {
+      const std::uint64_t* a = get(f[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < arity; ++i) {
+        const std::uint64_t* b = get(f[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] |= b[w];
+      }
+      if (op == EvalOp::NorN) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    case EvalOp::XorN:
+    case EvalOp::XnorN: {
+      const std::uint64_t* a = get(f[0]);
+      for (std::size_t w = 0; w < words; ++w) out[w] = a[w];
+      for (std::size_t i = 1; i < arity; ++i) {
+        const std::uint64_t* b = get(f[i]);
+        for (std::size_t w = 0; w < words; ++w) out[w] ^= b[w];
+      }
+      if (op == EvalOp::XnorN) {
+        for (std::size_t w = 0; w < words; ++w) out[w] = ~out[w];
+      }
+      break;
+    }
+    default:
+      throw std::logic_error("eval_plan_slot: source/dead slot");
+  }
+}
+
+}  // namespace tz

@@ -37,9 +37,7 @@ std::span<std::uint64_t> PatternSet::words(std::size_t signal) {
 }
 
 std::uint64_t PatternSet::tail_mask() const {
-  const std::size_t rem = num_patterns_ % 64;
-  if (rem == 0) return ~std::uint64_t{0};
-  return (std::uint64_t{1} << rem) - 1;
+  return tail_mask_for(num_patterns_);
 }
 
 PatternSet PatternSet::slice(std::size_t first, std::size_t count) const {

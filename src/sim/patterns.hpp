@@ -11,6 +11,16 @@
 
 namespace tz {
 
+/// Mask with ones for every valid pattern position in the last packed word
+/// of a `num_patterns`-bit stream — the single owner of the padding-lane
+/// convention (PatternSet::tail_mask and the row-reduction overloads share
+/// it).
+inline std::uint64_t tail_mask_for(std::size_t num_patterns) {
+  const std::size_t rem = num_patterns % 64;
+  if (rem == 0) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << rem) - 1;
+}
+
 class PatternSet {
  public:
   PatternSet() = default;

@@ -9,7 +9,22 @@
 
 namespace tz {
 
-BitSimulator::BitSimulator(const Netlist& nl) : nl_(&nl), order_(nl.topo_order()) {}
+BitSimulator::BitSimulator(const Netlist& nl)
+    : nl_(&nl), order_(nl.topo_order()) {
+  if (eval_plan_enabled()) plan_ = std::make_shared<EvalPlan>(nl, order_);
+}
+
+BitSimulator::BitSimulator(const Netlist& nl,
+                           std::shared_ptr<const EvalPlan> plan)
+    : nl_(&nl), plan_(std::move(plan)) {
+  // The plan's slot order is the topological order; recomputing the sort
+  // here would double the construction cost of every plan-sharing owner.
+  if (plan_) {
+    order_ = plan_->topo_nodes();
+  } else {
+    order_ = nl.topo_order();
+  }
+}
 
 NodeValues BitSimulator::run(const PatternSet& inputs,
                              const std::vector<std::uint64_t>* dff_state) const {
@@ -17,7 +32,33 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
   if (inputs.num_signals() != nl.inputs().size()) {
     throw std::invalid_argument("BitSimulator: pattern width != #inputs");
   }
+  if (dff_state && dff_state->size() != nl.dffs().size()) {
+    throw std::invalid_argument("BitSimulator: dff state size");
+  }
   const std::size_t words = inputs.num_words();
+
+  if (plan_) {
+    // Compiled path: scatter the source rows into the slot-major matrix and
+    // walk the opcode stream once (blocked over word stripes inside).
+    NodeValues vals(plan_, words);
+    std::uint64_t* base = vals.data();
+    const std::vector<SlotId>& in_slots = plan_->input_slots();
+    for (std::size_t i = 0; i < in_slots.size(); ++i) {
+      auto src = inputs.words(i);
+      std::copy(src.begin(), src.end(),
+                base + std::size_t{in_slots[i]} * words);
+    }
+    const std::vector<SlotId>& dff_slots = plan_->dff_slots();
+    for (std::size_t i = 0; i < dff_slots.size(); ++i) {
+      // The matrix is allocated uninitialized; DFF source rows must be
+      // seeded either way (reset state is all-zero).
+      std::fill_n(base + std::size_t{dff_slots[i]} * words, words,
+                  dff_state ? (*dff_state)[i] : 0);
+    }
+    plan_->evaluate(base, words);
+    return vals;
+  }
+
   NodeValues vals(nl.raw_size(), words);
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
     auto src = inputs.words(i);
@@ -25,9 +66,6 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
     std::copy(src.begin(), src.end(), dst);
   }
   if (dff_state) {
-    if (dff_state->size() != nl.dffs().size()) {
-      throw std::invalid_argument("BitSimulator: dff state size");
-    }
     for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
       std::uint64_t* dst = vals.row(nl.dffs()[i]);
       for (std::size_t w = 0; w < words; ++w) dst[w] = (*dff_state)[i];
@@ -86,12 +124,10 @@ bool BitSimulator::responses_equal(const PatternSet& a, const PatternSet& b) {
 }
 
 std::vector<std::uint64_t> count_toggles(const Netlist& nl,
-                                         const PatternSet& inputs) {
-  BitSimulator sim(nl);
-  const NodeValues vals = sim.run(inputs);
+                                         const NodeValues& vals,
+                                         std::size_t num_patterns) {
   std::vector<std::uint64_t> toggles(nl.raw_size(), 0);
-  const std::size_t p_count = inputs.num_patterns();
-  const std::size_t words = inputs.num_words();
+  const std::size_t words = vals.num_words();
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
     if (!nl.is_alive(id)) continue;
     const std::uint64_t* row = vals.row(id);
@@ -102,12 +138,13 @@ std::vector<std::uint64_t> count_toggles(const Netlist& nl,
     std::uint64_t total = 0;
     for (std::size_t w = 0; w < words; ++w) {
       const std::size_t base = 64 * w;
-      if (base + 1 >= p_count) break;  // no pair starts in this word
+      if (base + 1 >= num_patterns) break;  // no pair starts in this word
       const std::uint64_t x = row[w];
       const std::uint64_t carry = w + 1 < words ? row[w + 1] << 63 : 0;
       const std::uint64_t shifted = (x >> 1) | carry;
-      // Pair i is valid while its second pattern 64w+i+1 < p_count.
-      const std::size_t pairs = std::min<std::size_t>(64, p_count - 1 - base);
+      // Pair i is valid while its second pattern 64w+i+1 < num_patterns.
+      const std::size_t pairs =
+          std::min<std::size_t>(64, num_patterns - 1 - base);
       const std::uint64_t mask =
           pairs >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << pairs) - 1;
       total += static_cast<std::uint64_t>(std::popcount((x ^ shifted) & mask));
@@ -117,13 +154,18 @@ std::vector<std::uint64_t> count_toggles(const Netlist& nl,
   return toggles;
 }
 
-std::vector<double> simulated_one_probability(const Netlist& nl,
-                                              const PatternSet& inputs) {
+std::vector<std::uint64_t> count_toggles(const Netlist& nl,
+                                         const PatternSet& inputs) {
   BitSimulator sim(nl);
-  const NodeValues vals = sim.run(inputs);
+  return count_toggles(nl, sim.run(inputs), inputs.num_patterns());
+}
+
+std::vector<double> simulated_one_probability(const Netlist& nl,
+                                              const NodeValues& vals,
+                                              std::size_t num_patterns) {
   std::vector<double> prob(nl.raw_size(), 0.0);
-  const std::size_t words = inputs.num_words();
-  const std::uint64_t tail = inputs.tail_mask();
+  const std::size_t words = vals.num_words();
+  const std::uint64_t tail = tail_mask_for(num_patterns);
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
     if (!nl.is_alive(id)) continue;
     const std::uint64_t* row = vals.row(id);
@@ -133,12 +175,19 @@ std::vector<double> simulated_one_probability(const Netlist& nl,
       if (w + 1 == words) v &= tail;
       ones += static_cast<std::uint64_t>(std::popcount(v));
     }
-    prob[id] = inputs.num_patterns() == 0
+    prob[id] = num_patterns == 0
                    ? 0.0
                    : static_cast<double>(ones) /
-                         static_cast<double>(inputs.num_patterns());
+                         static_cast<double>(num_patterns);
   }
   return prob;
+}
+
+std::vector<double> simulated_one_probability(const Netlist& nl,
+                                              const PatternSet& inputs) {
+  BitSimulator sim(nl);
+  return simulated_one_probability(nl, sim.run(inputs),
+                                   inputs.num_patterns());
 }
 
 CycleSimulator::CycleSimulator(const Netlist& nl)
@@ -146,7 +195,9 @@ CycleSimulator::CycleSimulator(const Netlist& nl)
       order_(nl.topo_order()),
       value_(nl.raw_size(), 0),
       prev_(nl.raw_size(), 0),
-      toggles_(nl.raw_size(), 0) {}
+      toggles_(nl.raw_size(), 0),
+      next_state_(nl.dffs().size(), 0),
+      out_(nl.outputs().size(), false) {}
 
 void CycleSimulator::reset() {
   std::fill(value_.begin(), value_.end(), 0);
@@ -156,7 +207,8 @@ void CycleSimulator::reset() {
   has_prev_ = false;
 }
 
-std::vector<bool> CycleSimulator::step(const std::vector<bool>& input_bits) {
+const std::vector<bool>& CycleSimulator::step(
+    const std::vector<bool>& input_bits) {
   const auto& nl = *nl_;
   if (input_bits.size() != nl.inputs().size()) {
     throw std::invalid_argument("CycleSimulator: input width");
@@ -179,19 +231,17 @@ std::vector<bool> CycleSimulator::step(const std::vector<bool>& input_bits) {
   prev_ = value_;
   has_prev_ = true;
   // Clock edge: DFFs capture d.
-  std::vector<std::uint64_t> next_state(nl.dffs().size());
   for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    next_state[i] = value_[nl.node(nl.dffs()[i]).fanin[0]];
+    next_state_[i] = value_[nl.node(nl.dffs()[i]).fanin[0]];
   }
   for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-    value_[nl.dffs()[i]] = next_state[i];
+    value_[nl.dffs()[i]] = next_state_[i];
   }
   ++cycles_;
-  std::vector<bool> out(nl.outputs().size());
   for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-    out[o] = prev_[nl.outputs()[o]] & 1;
+    out_[o] = prev_[nl.outputs()[o]] & 1;
   }
-  return out;
+  return out_;
 }
 
 std::vector<bool> CycleSimulator::state() const {

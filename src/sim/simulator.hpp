@@ -5,40 +5,100 @@
 // fault simulation, Monte-Carlo probability estimation and toggle counting
 // for dynamic power. CycleSimulator adds DFF state for circuits carrying the
 // counter-based Trojan of Fig. 4.
+//
+// With the compiled-plan path enabled (TZ_EVAL_PLAN, default on) a
+// BitSimulator compiles the netlist into a sim/eval_plan.hpp EvalPlan once
+// and every run() is a straight walk of the opcode stream over a dense
+// slot-major value matrix; NodeValues::row() translates NodeId -> slot
+// transparently, so callers are layout-agnostic. The legacy Node-walking
+// evaluator is kept (TZ_EVAL_PLAN=0) and produces bit-identical values.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/eval_plan.hpp"
 #include "sim/patterns.hpp"
 
 namespace tz {
 
+namespace detail {
+/// std::allocator that default-initializes on resize: a plan-evaluated value
+/// matrix is fully written before it is read (see EvalPlan::evaluate), so
+/// the multi-megabyte zero-fill of vector's value-initialization is pure
+/// waste on the hot path. Explicit `(n, 0)` construction still zeroes.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+}  // namespace detail
+
 /// Per-node simulation values for a block of patterns: value(node, word).
+/// Rows are node-major (one row per NodeId slot) unless constructed over an
+/// EvalPlan, in which case storage is dense slot-major and row(id) resolves
+/// through the plan — reading a row of a dead node is then invalid.
 class NodeValues {
  public:
   NodeValues() = default;
   NodeValues(std::size_t num_nodes, std::size_t num_words)
       : num_words_(num_words), v_(num_nodes * num_words, 0) {}
+  /// Plan layout. The storage is intentionally left uninitialized: the
+  /// evaluate() walk writes every slot row (BitSimulator::run zero-fills the
+  /// DFF source rows it does not otherwise seed).
+  NodeValues(std::shared_ptr<const EvalPlan> plan, std::size_t num_words)
+      : plan_(std::move(plan)),
+        num_words_(num_words),
+        v_(plan_->num_slots() * num_words) {}
 
-  std::uint64_t* row(NodeId id) { return v_.data() + id * num_words_; }
-  const std::uint64_t* row(NodeId id) const { return v_.data() + id * num_words_; }
+  std::uint64_t* row(NodeId id) { return v_.data() + row_index(id) * num_words_; }
+  const std::uint64_t* row(NodeId id) const {
+    return v_.data() + row_index(id) * num_words_;
+  }
   std::size_t num_words() const { return num_words_; }
   bool bit(NodeId id, std::size_t pattern) const {
     return (row(id)[pattern / 64] >> (pattern % 64)) & 1;
   }
 
+  /// Slot-major backing store (plan layout) / node-major store (legacy).
+  /// Engines that already think in plan slots index this directly.
+  std::uint64_t* data() { return v_.data(); }
+  const std::uint64_t* data() const { return v_.data(); }
+  const EvalPlan* plan() const { return plan_.get(); }
+
  private:
+  std::size_t row_index(NodeId id) const {
+    return plan_ ? plan_->slot_of(id) : id;
+  }
+
+  std::shared_ptr<const EvalPlan> plan_;
   std::size_t num_words_ = 0;
-  std::vector<std::uint64_t> v_;
+  std::vector<std::uint64_t, detail::DefaultInitAllocator<std::uint64_t>> v_;
 };
 
 class BitSimulator {
  public:
-  /// Captures the topological order; the netlist must outlive the simulator
-  /// and must not be structurally modified while in use.
+  /// Captures the topological order (and compiles the evaluation plan when
+  /// the plan path is enabled); the netlist must outlive the simulator and
+  /// must not be structurally modified while in use.
   explicit BitSimulator(const Netlist& nl);
+
+  /// Run on an externally compiled plan for the same netlist (pass nullptr
+  /// to force the legacy evaluator). Lets owners that patch a plan share one
+  /// compilation with the simulator used to seed their caches.
+  BitSimulator(const Netlist& nl, std::shared_ptr<const EvalPlan> plan);
 
   /// Evaluate all nodes for the given input patterns. DFF outputs are taken
   /// from `state` when provided (size = dffs().size()), else 0.
@@ -58,9 +118,14 @@ class BitSimulator {
   /// simulator reuse the sort instead of recomputing it.
   const std::vector<NodeId>& order() const { return order_; }
 
+  /// The compiled plan, or nullptr on the legacy path.
+  const EvalPlan* plan() const { return plan_.get(); }
+  std::shared_ptr<const EvalPlan> shared_plan() const { return plan_; }
+
  private:
   const Netlist* nl_;
   std::vector<NodeId> order_;
+  std::shared_ptr<const EvalPlan> plan_;
 };
 
 /// Count of 0->1 and 1->0 transitions per node when patterns are applied in
@@ -69,10 +134,23 @@ class BitSimulator {
 std::vector<std::uint64_t> count_toggles(const Netlist& nl,
                                          const PatternSet& inputs);
 
+/// Same count over an existing simulation: reuses the captured topo order /
+/// compiled plan and the already-evaluated rows instead of re-running the
+/// whole suite. `vals` must come from a run of `inputs` on `nl`.
+std::vector<std::uint64_t> count_toggles(const Netlist& nl,
+                                         const NodeValues& vals,
+                                         std::size_t num_patterns);
+
 /// Fraction of patterns for which each node evaluates to 1 (simulated signal
 /// probability; Monte-Carlo reference for prob/signal_prob.hpp).
 std::vector<double> simulated_one_probability(const Netlist& nl,
                                               const PatternSet& inputs);
+
+/// Overload on an existing run, for callers that also count toggles (or
+/// otherwise reuse the rows) on the same patterns.
+std::vector<double> simulated_one_probability(const Netlist& nl,
+                                              const NodeValues& vals,
+                                              std::size_t num_patterns);
 
 /// Cycle-accurate simulator for netlists with DFFs.
 class CycleSimulator {
@@ -85,8 +163,9 @@ class CycleSimulator {
   /// Apply one input vector (64 independent pattern lanes share the same
   /// sequential behaviour only if their inputs agree; for sequential runs use
   /// one lane). Advances state by one clock. Returns the primary-output bits
-  /// of lane 0.
-  std::vector<bool> step(const std::vector<bool>& input_bits);
+  /// of lane 0; the reference is into member scratch and is valid until the
+  /// next step() or destruction.
+  const std::vector<bool>& step(const std::vector<bool>& input_bits);
 
   /// Total signal transitions observed per node across all steps (includes
   /// the combinational settling between consecutive cycles, one evaluation
@@ -107,6 +186,10 @@ class CycleSimulator {
   std::vector<std::uint64_t> value_;   // one lane, bit 0 used
   std::vector<std::uint64_t> prev_;    // previous-cycle values
   std::vector<std::uint64_t> toggles_;
+  // Per-step scratch, hoisted: step() runs once per cycle inside power-trace
+  // workloads and must not allocate.
+  std::vector<std::uint64_t> next_state_;
+  std::vector<bool> out_;
   std::uint64_t cycles_ = 0;
   bool has_prev_ = false;
 };

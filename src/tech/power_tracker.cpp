@@ -211,6 +211,15 @@ PowerReport PowerTracker::totals() const {
   return t;
 }
 
+PowerBreakdown PowerTracker::breakdown() const {
+  PowerBreakdown b;
+  b.dynamic_uw = dyn_;
+  b.leakage_uw = leak_;
+  b.area_ge = area_;
+  b.totals = totals();
+  return b;
+}
+
 void PowerTracker::begin() {
   if (txn_) throw std::logic_error("PowerTracker: nested transaction");
   txn_ = true;

@@ -47,6 +47,13 @@ class PowerTracker {
   /// as PowerModel::analyze, so a synced tracker matches it bit-for-bit.
   PowerReport totals() const;
 
+  /// Snapshot of the per-node rows as a PowerBreakdown — the same vectors a
+  /// from-scratch PowerModel::analyze of the current netlist would return
+  /// (bit-for-bit; refresh_rows mirrors the analysis term for term). Lets
+  /// detector sweeps that mutate a DUT one gate at a time feed the per-die
+  /// variation sampling without re-running analyze -> SignalProb.
+  PowerBreakdown breakdown() const;
+
   double p1(NodeId id) const { return id < p1_.size() ? p1_[id] : 0.0; }
   double dynamic_uw(NodeId id) const {
     return id < dyn_.size() ? dyn_[id] : 0.0;

@@ -241,6 +241,99 @@ TEST_P(TrojanZeroEvades, AllThreeDetectors) {
 INSTANTIATE_TEST_SUITE_P(Benchmarks, TrojanZeroEvades,
                          ::testing::Values("c432", "c499", "c880"));
 
+TEST(CachedAnalysis, BreakdownOverloadsMatchAnalyzingOverloads) {
+  // The precomputed-breakdown overloads must reproduce the analyzing
+  // overloads bit for bit: same variation stream, same statistics.
+  const Netlist golden = make_benchmark("c432");
+  Netlist dut = golden;
+  add_dummy_gate(dut, dut.inputs()[0], GateType::Xor, "extra");
+  const PowerModel pm = model();
+  const PowerBreakdown gnom = pm.analyze(golden);
+  const PowerBreakdown dnom = pm.analyze(dut);
+  const auto same = [](const DetectionResult& a, const DetectionResult& b) {
+    EXPECT_EQ(a.detected, b.detected);
+    EXPECT_EQ(a.statistic, b.statistic);
+    EXPECT_EQ(a.threshold, b.threshold);
+    EXPECT_EQ(a.overhead_percent, b.overhead_percent);
+  };
+  same(detect_dynamic_power(golden, dut, pm),
+       detect_dynamic_power(golden, dut, gnom, dnom));
+  same(detect_total_power(golden, dut, pm),
+       detect_total_power(golden, dut, gnom, dnom));
+  same(detect_leakage_glc(golden, dut, pm),
+       detect_leakage_glc(golden, dut, gnom, dnom));
+  same(detect_statistical_learning(golden, dut, pm),
+       detect_statistical_learning(golden, dut, gnom, dnom));
+}
+
+TEST(CachedAnalysis, TrackerSweepMatchesFreshAnalysisSweep) {
+  // min_detectable_dynamic_overhead now drives the sweep off one golden
+  // analysis plus incremental PowerTracker deltas; the result must be
+  // bit-identical to the original per-step analyze implementation.
+  const Netlist golden = make_benchmark("c432");
+  const PowerModel pm = model();
+  const PowerDetectOptions opt;
+  Netlist dut = golden;
+  const double base = pm.analyze(golden).totals.dynamic_uw;
+  double reference = 100.0;
+  for (int gates = 1; gates <= 256; ++gates) {
+    const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
+    add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+    PowerDetectOptions o = opt;
+    o.seed = opt.seed + static_cast<std::uint64_t>(gates);
+    if (detect_dynamic_power(golden, dut, pm, o).detected) {
+      const double now = pm.analyze(dut).totals.dynamic_uw;
+      reference = 100.0 * (now - base) / base;
+      break;
+    }
+  }
+  EXPECT_EQ(min_detectable_dynamic_overhead(golden, pm, opt), reference);
+}
+
+TEST(CachedAnalysis, TrackerSweepMatchesFreshAnalysisSweepLeakageAndArea) {
+  // Same parity check for the other two rewritten sweeps: GLC exercises the
+  // per-node leakage rows (Nand dummies), the learning detector the area
+  // rows plus the 2-feature Gaussian fit (Xor dummies).
+  const Netlist golden = make_benchmark("c432");
+  const PowerModel pm = model();
+  {
+    const PowerDetectOptions opt;
+    Netlist dut = golden;
+    const double base = pm.analyze(golden).totals.leakage_uw;
+    double reference = 100.0;
+    for (int gates = 1; gates <= 256; ++gates) {
+      const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
+      add_dummy_gate(dut, pi, GateType::Nand, "add_ht");
+      PowerDetectOptions o = opt;
+      o.seed = opt.seed + static_cast<std::uint64_t>(gates);
+      if (detect_leakage_glc(golden, dut, pm, o).detected) {
+        const double now = pm.analyze(dut).totals.leakage_uw;
+        reference = 100.0 * (now - base) / base;
+        break;
+      }
+    }
+    EXPECT_EQ(min_detectable_leakage_overhead(golden, pm, opt), reference);
+  }
+  {
+    const LearningDetectOptions opt;
+    Netlist dut = golden;
+    const double base = pm.analyze(golden).totals.area_ge;
+    double reference = 100.0;
+    for (int gates = 1; gates <= 256; ++gates) {
+      const NodeId pi = dut.inputs()[gates % dut.inputs().size()];
+      add_dummy_gate(dut, pi, GateType::Xor, "add_ht");
+      LearningDetectOptions o = opt;
+      o.base.seed = opt.base.seed + static_cast<std::uint64_t>(gates);
+      if (detect_statistical_learning(golden, dut, pm, o).detected) {
+        const double now = pm.analyze(dut).totals.area_ge;
+        reference = 100.0 * (now - base) / base;
+        break;
+      }
+    }
+    EXPECT_EQ(min_detectable_area_overhead(golden, pm, opt), reference);
+  }
+}
+
 TEST(Contrast, SameTrojanWithoutSalvageIsDetected) {
   // The zero-footprint property comes from Algorithm 1, not from the HT
   // being small: inserting the identical HT additively (no salvage) must

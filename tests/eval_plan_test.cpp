@@ -1,0 +1,280 @@
+// Tests for the compiled evaluation plan (sim/eval_plan.hpp): structural
+// compile invariants, randomized bit-parity of the plan kernels against the
+// eval_gate_row reference across the full gate alphabet and arity range,
+// cross-mode equality of the engines that consume plans, and the incremental
+// plan patch applied by SuiteOracle::resync_structure after committed ties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "atpg/fault_sim_engine.hpp"
+#include "atpg/test_set.hpp"
+#include "core/flow_engine.hpp"
+#include "core/ht_library.hpp"
+#include "core/insertion.hpp"
+#include "core/report.hpp"
+#include "core/salvage.hpp"
+#include "gen/iscas.hpp"
+#include "netlist/rewrite.hpp"
+#include "prob/signal_prob.hpp"
+#include "sim/eval_plan.hpp"
+#include "sim/simulator.hpp"
+#include "testutil.hpp"
+
+namespace tz {
+namespace {
+
+using test::PlanModeGuard;
+
+/// Random netlist over the full combinational alphabet: Buf/Not (arity 1),
+/// the four AND/OR families and XOR/XNOR at arities 2..8, MUX, and both tie
+/// cells feeding real logic — the edge shapes the plan compiler specializes.
+Netlist random_full_alphabet(std::uint64_t seed, int num_gates) {
+  std::mt19937_64 rng(seed);
+  Netlist nl("rand_" + std::to_string(seed));
+  std::vector<NodeId> pool;
+  for (int i = 0; i < 6; ++i) {
+    pool.push_back(nl.add_input("i" + std::to_string(i)));
+  }
+  pool.push_back(nl.const_node(false));
+  pool.push_back(nl.const_node(true));
+  const auto pick = [&] { return pool[rng() % pool.size()]; };
+  static constexpr GateType kTypes[] = {
+      GateType::Buf, GateType::Not,  GateType::And, GateType::Nand,
+      GateType::Or,  GateType::Nor,  GateType::Xor, GateType::Xnor,
+      GateType::Mux};
+  for (int g = 0; g < num_gates; ++g) {
+    const GateType t = kTypes[rng() % std::size(kTypes)];
+    std::vector<NodeId> fi;
+    if (t == GateType::Buf || t == GateType::Not) {
+      fi = {pick()};
+    } else if (t == GateType::Mux) {
+      fi = {pick(), pick(), pick()};
+    } else {
+      const std::size_t arity = 2 + rng() % 7;  // 2..8
+      for (std::size_t k = 0; k < arity; ++k) fi.push_back(pick());
+    }
+    pool.push_back(nl.add_gate(t, "g" + std::to_string(g), fi));
+  }
+  for (std::size_t k = 0; k < 8 && k < pool.size(); ++k) {
+    nl.mark_output(pool[pool.size() - 1 - k]);
+  }
+  return nl;
+}
+
+TEST(EvalPlan, CompileInvariants) {
+  const Netlist nl = random_full_alphabet(3, 80);
+  const EvalPlan plan(nl);
+  ASSERT_EQ(plan.num_slots(), nl.live_count());
+  for (SlotId s = 0; s < plan.num_slots(); ++s) {
+    const NodeId id = plan.node_of(s);
+    ASSERT_TRUE(nl.is_alive(id));
+    EXPECT_EQ(plan.slot_of(id), s);
+    const Node& n = nl.node(id);
+    if (n.type == GateType::Input || n.type == GateType::Dff) {
+      EXPECT_EQ(plan.op(s), EvalOp::Source);
+      EXPECT_TRUE(plan.fanins(s).empty());
+      continue;
+    }
+    // Fanin CSR preserves order and respects topological slot numbering.
+    const auto fanins = plan.fanins(s);
+    ASSERT_EQ(fanins.size(), n.fanin.size());
+    for (std::size_t k = 0; k < fanins.size(); ++k) {
+      EXPECT_EQ(fanins[k], plan.slot_of(n.fanin[k]));
+      EXPECT_LT(fanins[k], s);  // slot order is the topo order
+    }
+    // Fanout CSR is the transpose of the fanin CSR.
+    for (SlotId f : fanins) {
+      const auto fo = plan.fanout(f);
+      EXPECT_NE(std::find(fo.begin(), fo.end(), s), fo.end());
+    }
+  }
+  // Arity-2 specialization picked for every 2-input gate.
+  for (SlotId s = 0; s < plan.num_slots(); ++s) {
+    const Node& n = nl.node(plan.node_of(s));
+    if (n.type == GateType::And) {
+      EXPECT_EQ(plan.op(s),
+                n.fanin.size() == 2 ? EvalOp::And2 : EvalOp::AndN);
+    }
+  }
+}
+
+TEST(EvalPlan, RandomizedParityWithGateEvalRow) {
+  // The compiled walk must be bit-identical to the legacy eval_gate_row
+  // evaluator on every node row — including the 1-word register fast path
+  // and the tail-mask boundaries at 63/64/65 patterns.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const Netlist nl = random_full_alphabet(seed, 120);
+    for (std::size_t patterns : {1u, 63u, 64u, 65u, 200u}) {
+      const PatternSet ps =
+          random_patterns(nl.inputs().size(), patterns, seed * 97 + patterns);
+      NodeValues legacy, plan;
+      {
+        PlanModeGuard guard(0);
+        legacy = BitSimulator(nl).run(ps);
+      }
+      {
+        PlanModeGuard guard(1);
+        plan = BitSimulator(nl).run(ps);
+      }
+      for (NodeId id = 0; id < nl.raw_size(); ++id) {
+        if (!nl.is_alive(id)) continue;
+        const std::uint64_t* a = legacy.row(id);
+        const std::uint64_t* b = plan.row(id);
+        for (std::size_t w = 0; w < ps.num_words(); ++w) {
+          ASSERT_EQ(a[w], b[w])
+              << "seed " << seed << " patterns " << patterns << " node "
+              << nl.node(id).name << " word " << w;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalPlan, DffStateRowsMatchAcrossModes) {
+  // DFF outputs are plan sources; both the explicit-state and the
+  // reset-to-zero fills must match the legacy path bit for bit.
+  Netlist nl("seq");
+  const NodeId a = nl.add_input("a");
+  const NodeId q0 = nl.add_gate(GateType::Dff, "q0", {a});
+  const NodeId x = nl.add_gate(GateType::Xor, "x", {a, q0});
+  const NodeId q1 = nl.add_gate(GateType::Dff, "q1", {x});
+  const NodeId o = nl.add_gate(GateType::Nand, "o", {x, q1});
+  nl.mark_output(o);
+  const PatternSet ps = random_patterns(1, 130, 9);
+  const std::vector<std::uint64_t> state = {~std::uint64_t{0}, 0};
+  for (const std::vector<std::uint64_t>* st :
+       {static_cast<const std::vector<std::uint64_t>*>(nullptr), &state}) {
+    NodeValues legacy, plan;
+    {
+      PlanModeGuard guard(0);
+      legacy = BitSimulator(nl).run(ps, st);
+    }
+    {
+      PlanModeGuard guard(1);
+      plan = BitSimulator(nl).run(ps, st);
+    }
+    for (NodeId id : {a, q0, x, q1, o}) {
+      for (std::size_t w = 0; w < ps.num_words(); ++w) {
+        ASSERT_EQ(legacy.row(id)[w], plan.row(id)[w]);
+      }
+    }
+  }
+}
+
+TEST(EvalPlan, FaultSimEngineMatchesAcrossModes) {
+  const Netlist nl = make_benchmark("c880");
+  const auto faults = collapse_faults(nl, fault_universe(nl));
+  for (std::size_t patterns : {63u, 64u, 65u, 128u}) {
+    const PatternSet ps = random_patterns(nl.inputs().size(), patterns, 5);
+    std::vector<bool> legacy_det, plan_det;
+    std::vector<std::vector<std::uint64_t>> legacy_bits, plan_bits;
+    {
+      PlanModeGuard guard(0);
+      FaultSimEngine engine(nl, ps);
+      legacy_det = engine.simulate(faults);
+      for (std::size_t i = 0; i < faults.size(); i += 97) {
+        legacy_bits.push_back(engine.detection_bits(faults[i]));
+      }
+    }
+    {
+      PlanModeGuard guard(1);
+      FaultSimEngine engine(nl, ps);
+      plan_det = engine.simulate(faults);
+      for (std::size_t i = 0; i < faults.size(); i += 97) {
+        plan_bits.push_back(engine.detection_bits(faults[i]));
+      }
+    }
+    EXPECT_EQ(legacy_det, plan_det) << patterns << " patterns";
+    EXPECT_EQ(legacy_bits, plan_bits) << patterns << " patterns";
+  }
+}
+
+TEST(EvalPlan, PlanPatchAfterCommitMatchesRecompile) {
+  // Committing ties patches the plan in place (tie cell appended as a
+  // source, reader fanin CSR rewritten, swept cone tombstoned). After every
+  // commit the patched oracle must judge exactly like a from-scratch oracle
+  // compiled on the mutated netlist — and like the full functional test.
+  PlanModeGuard guard(1);
+  const Netlist original = make_benchmark("c880");
+  const DefenderSuite suite =
+      make_defender_suite(original, FlowOptions::atpg_only_defender());
+  Netlist work = original.compact();
+  const SignalProb sp(work);
+  const auto cands = find_candidates(work, sp, 0.992, false);
+  ASSERT_GE(cands.size(), 5u);
+  SuiteOracle oracle(work, suite);
+  ASSERT_FALSE(oracle.sequential());
+  std::size_t committed = 0;
+  for (const Candidate& c : cands) {
+    if (!work.is_alive(c.node)) continue;
+    const bool visible = oracle.tie_visible(c.node, c.tie_value);
+    {
+      SuiteOracle recompiled(work, suite);
+      EXPECT_EQ(recompiled.tie_visible(c.node, c.tie_value), visible)
+          << "patched plan diverged from recompile at " << work.node(c.node).name;
+    }
+    Netlist reference = work;
+    tie_to_constant(reference, c.node, c.tie_value);
+    EXPECT_EQ(visible, !functional_test(reference, suite));
+    if (!visible) {
+      oracle.commit_tie(c.node, c.tie_value);
+      tie_to_constant(work, c.node, c.tie_value);
+      oracle.resync_structure();
+      ++committed;
+    }
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_TRUE(functional_test(work, suite));
+  // HT judging on the patched plan agrees with a recompile too.
+  const SignalProb sp2(work);
+  SuiteOracle recompiled(work, suite);
+  int checked = 0;
+  for (NodeId victim : payload_locations(work, 6)) {
+    const auto pool = trigger_pool(work, sp2, 0.05, victim);
+    if (pool.size() < 2) continue;
+    const std::span<const NodeId> trig(pool.data(), 2);
+    EXPECT_EQ(oracle.ht_visible(trig, 3, victim),
+              recompiled.ht_visible(trig, 3, victim));
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(EvalPlan, ToggleAndProbabilityOverloadsReuseRuns) {
+  const Netlist nl = make_benchmark("c432");
+  const PatternSet ps = random_patterns(nl.inputs().size(), 130, 21);
+  // One simulator + one run feeding both reductions must equal the
+  // construct-and-rerun convenience forms.
+  BitSimulator sim(nl);
+  const NodeValues vals = sim.run(ps);
+  EXPECT_EQ(count_toggles(nl, vals, ps.num_patterns()), count_toggles(nl, ps));
+  EXPECT_EQ(simulated_one_probability(nl, vals, ps.num_patterns()),
+            simulated_one_probability(nl, ps));
+}
+
+TEST(EvalPlan, CycleSimulatorStepScratchKeepsSemantics) {
+  // step() now returns a reference into member scratch; consecutive calls
+  // must keep producing the per-cycle outputs (regression for the hoisted
+  // next_state/out buffers).
+  Netlist nl("cnt");
+  const NodeId en = nl.add_input("en");
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {en});
+  const NodeId o = nl.add_gate(GateType::Xor, "o", {en, q});
+  nl.mark_output(o);
+  CycleSimulator cs(nl);
+  EXPECT_TRUE(cs.step({true})[0]);    // q=0, en=1
+  EXPECT_FALSE(cs.step({true})[0]);   // q=1, en=1
+  EXPECT_TRUE(cs.step({false})[0]);   // q=1, en=0
+  EXPECT_FALSE(cs.step({false})[0]);  // q=0, en=0
+  EXPECT_EQ(cs.cycles(), 4u);
+}
+
+}  // namespace
+}  // namespace tz

@@ -425,6 +425,56 @@ TEST(ParallelScan, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(EvalPlanFlow, BitIdenticalToLegacyEnginesAcrossThreadCounts) {
+  // The compiled-plan engines must reproduce the legacy Node-walking flow
+  // exactly — accepted/rejected ties, HT/victim/dummy choices and reported
+  // power — sequentially and at every thread count (the TZ_EVAL_PLAN=0/1 CI
+  // smoke diffs the same property on the Table-1 output).
+  struct Case {
+    const char* name;
+    double rare_p1;
+    std::vector<TrojanDesc> library;
+  };
+  const Case cases[] = {
+      {"c880", 0.05, {}},
+      {"c1908", 0.05, {}},
+      {"c6288", 0.25, {counter_trojan(5), counter_trojan(3)}},
+  };
+  for (const Case& c : cases) {
+    const Netlist original = make_benchmark(c.name);
+    const DefenderSuite suite =
+        make_defender_suite(original, defender_defaults());
+    const PowerModel pm = model();
+    SalvageOptions sopt;
+    sopt.pth = spec_for(c.name).pth;
+    InsertionOptions iopt;
+    iopt.rare_p1 = c.rare_p1;
+    iopt.library = c.library;
+
+    SalvageResult s_legacy;
+    InsertionResult r_legacy;
+    {
+      const test::PlanModeGuard legacy(0);
+      sopt.threads = 1;
+      iopt.threads = 1;
+      s_legacy = salvage_power_area(original, suite, pm, sopt);
+      r_legacy = insert_trojan(original, s_legacy, suite, pm, iopt);
+    }
+
+    const test::PlanModeGuard plan(1);
+    for (const std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      const std::string label =
+          std::string(c.name) + " plan threads=" + std::to_string(t);
+      sopt.threads = t;
+      iopt.threads = t;
+      const SalvageResult st = salvage_power_area(original, suite, pm, sopt);
+      expect_same_salvage(s_legacy, st, label);
+      const InsertionResult rt = insert_trojan(original, st, suite, pm, iopt);
+      expect_same_insertion(r_legacy, rt, label);
+    }
+  }
+}
+
 TEST(ParallelScan, ConcurrentOracleMatchesBuiltinScratch) {
   // The const judging API on per-thread scratch must agree verdict-for-
   // verdict with the single-threaded convenience overloads.

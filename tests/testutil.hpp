@@ -8,11 +8,23 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/eval_plan.hpp"
 
 namespace tz::test {
 
 // Canonical seed for tests that need an arbitrary-but-fixed RNG stream.
 inline constexpr std::uint64_t kTestSeed = 0xC0FFEE;
+
+// Forces the compiled-plan path on (1) / off (0) for the guarded scope and
+// restores the TZ_EVAL_PLAN environment default afterwards — RAII so a throw
+// or fatal assertion cannot leak a forced mode into later tests of the
+// aggregated runner.
+struct PlanModeGuard {
+  explicit PlanModeGuard(int mode) { set_eval_plan_enabled(mode); }
+  ~PlanModeGuard() { set_eval_plan_enabled(-1); }
+  PlanModeGuard(const PlanModeGuard&) = delete;
+  PlanModeGuard& operator=(const PlanModeGuard&) = delete;
+};
 
 // Adds `n` primary inputs named <prefix>0 .. <prefix>{n-1}.
 inline std::vector<NodeId> add_inputs(Netlist& nl, int n,
