@@ -62,7 +62,9 @@ FaultSimEngine::FaultSimEngine(const Netlist& nl, const PatternSet& patterns)
 }
 
 void FaultSimEngine::set_patterns(const PatternSet& patterns) {
-  good_ = sim_.run(patterns);
+  // The cone kernels read whole good-machine rows via data() + ix * words;
+  // opt out of the stripe-major layout for this matrix.
+  good_ = sim_.run(patterns, nullptr, ValueLayout::Contiguous);
   words_ = patterns.num_words();
   tail_ = patterns.tail_mask();
   faulty_.resize(index_count() * words_);

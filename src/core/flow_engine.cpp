@@ -78,9 +78,10 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
     valid_[sg.offset + sg.words - 1] = ts.patterns.tail_mask();
     const NodeValues vals = sim.run(ts.patterns);
     if (plan_) {
+      // copy_slot_row gathers across stripes when a wide suite made the run
+      // come out stripe-major (the fused cache itself stays row-contiguous).
       for (std::size_t s = 0; s < cap_; ++s) {
-        const std::uint64_t* src = vals.data() + s * sg.words;
-        std::copy(src, src + sg.words, rows_.data() + s * words_ + sg.offset);
+        vals.copy_slot_row(s, rows_.data() + s * words_ + sg.offset);
       }
     } else {
       for (NodeId id = 0; id < cap_; ++id) {

@@ -38,4 +38,33 @@ Netlist gen_alu_bcd();
 /// 32 outputs.
 Netlist gen_mult16();
 
+// ---- scalable large-circuit generators (10k .. 500k gates) ----
+//
+// The Table-I reproductions top out at ~2.8k gates; these generators produce
+// the netlists two orders of magnitude bigger that the SoA EvalPlan and the
+// stripe-major value layout are built for. All are deterministic functions
+// of their parameters. Registered by name via make_benchmark
+// ("mult<W>", "wallace<W>", "aluecc<W>x<S>", "rand<G>k" — see gen/iscas.hpp).
+
+/// WxW schoolbook array multiplier in the c6288 NAND cell style (deep carry
+/// chains, skewed partial-product probabilities). ~12*W^2 gates: W=16 is
+/// exactly the c6288-class circuit, W=96 lands at ~100k gates.
+/// 2W inputs, 2W outputs. Throws std::invalid_argument unless 2 <= W <= 512.
+Netlist gen_mult_array(int width);
+
+/// WxW Wallace-tree multiplier: 3:2 compressor layers over the partial-
+/// product columns, then one final carry ripple — the shallow counterpart to
+/// the array multiplier (~9.5*W^2 gates, O(log W) compression depth).
+/// 2W inputs, 2W outputs. Throws std::invalid_argument unless 2 <= W <= 512.
+Netlist gen_wallace_mult(int width);
+
+/// Chain of S ALU/ECC stages over a W-bit accumulator: each stage adds a
+/// rotated key bus (ripple carry chained into the next stage), computes a
+/// logic arm, folds a Hamming-style parity syndrome of the sum back in and
+/// selects per-bit via MUX — a deep, wide pipeline-shaped block where every
+/// gate sits in the final accumulator's cone. ~(8W + W*log2(W)/2) gates per
+/// stage; W=64, S=160 lands at ~100k gates. 2W+4 inputs, W+1 outputs.
+/// Throws std::invalid_argument unless 2 <= W <= 1024 and 1 <= S <= 4096.
+Netlist gen_alu_ecc_chain(int width, int stages);
+
 }  // namespace tz

@@ -1,12 +1,78 @@
 #include "gen/iscas.hpp"
 
+#include <charconv>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
 #include "gen/circuits.hpp"
+#include "gen/random_circuit.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/rewrite.hpp"
 
 namespace tz {
+namespace {
+
+/// Parse the integer tail of `name` after `prefix`; nullopt unless the whole
+/// remainder is digits ("mult96" -> 96, "mult96x" -> nullopt).
+std::optional<int> parse_suffix(const std::string& name,
+                                std::string_view prefix) {
+  if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix)) {
+    return std::nullopt;
+  }
+  int v = 0;
+  const char* first = name.data() + prefix.size();
+  const char* last = name.data() + name.size();
+  const auto [p, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc{} || p != last) return std::nullopt;
+  return v;
+}
+
+/// The scalable families: "mult<W>", "wallace<W>", "aluecc<W>x<S>",
+/// "rand<N>k". Returns nullopt when `name` is not a large-circuit name (the
+/// classic registry handles it then).
+std::optional<Netlist> make_large_circuit(const std::string& name) {
+  if (const auto w = parse_suffix(name, "mult")) return gen_mult_array(*w);
+  if (const auto w = parse_suffix(name, "wallace")) {
+    return gen_wallace_mult(*w);
+  }
+  if (name.starts_with("aluecc")) {
+    const auto x = name.find('x', 6);
+    if (x == std::string::npos) return std::nullopt;
+    const auto w = parse_suffix(name.substr(0, x), "aluecc");
+    const auto s = parse_suffix(name, name.substr(0, x + 1));
+    if (!w || !s) return std::nullopt;
+    return gen_alu_ecc_chain(*w, *s);
+  }
+  if (name.starts_with("rand") && name.ends_with("k")) {
+    const auto kilo = parse_suffix(name.substr(0, name.size() - 1), "rand");
+    if (!kilo) return std::nullopt;
+    if (*kilo < 1 || *kilo > 500) {
+      throw std::invalid_argument("make_benchmark: rand size must be 1k-500k");
+    }
+    RandomCircuitSpec spec;
+    spec.num_inputs = 256;
+    spec.num_gates = *kilo * 1000;
+    spec.num_outputs = 128;
+    spec.max_fanin = 4;
+    spec.seed = 0xC0FFEE + static_cast<std::uint64_t>(*kilo);
+    Netlist nl = random_circuit(spec);
+    // random_circuit only marks the newest gates as outputs; promote every
+    // remaining fanout-free gate too so the advertised gate count survives
+    // the dead-gate sweep (dangling nets become observation points).
+    for (NodeId id : nl.live_nodes()) {
+      const Node& n = nl.node(id);
+      if (is_combinational(n.type) && n.fanout.empty() && !nl.is_output(id)) {
+        nl.mark_output(id);
+      }
+    }
+    nl.set_name(name);
+    return nl;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 const std::vector<BenchmarkSpec>& iscas85_specs() {
   static const std::vector<BenchmarkSpec> specs = {
@@ -36,6 +102,18 @@ const BenchmarkSpec& spec_for(const std::string& name) {
   throw std::out_of_range("unknown benchmark '" + name + "'");
 }
 
+const std::vector<LargeCircuitSpec>& large_circuit_specs() {
+  // Gate counts measured post-sweep; see gen_test.cpp LargeCircuits suite.
+  static const std::vector<LargeCircuitSpec> specs = {
+      {"mult32", 11744},      // array multiplier, ~12 W^2
+      {"wallace64", 38840},   // Wallace tree, ~9.5 W^2
+      {"aluecc64x160", 92480},   // 160 chained 64-bit ALU/ECC stages
+      {"rand100k", 100000},   // fixed-seed random DAG
+      {"mult96", 108960},     // the 100k-gate array-multiplier proof circuit
+  };
+  return specs;
+}
+
 Netlist make_benchmark(const std::string& name) {
   Netlist nl = [&] {
     if (name == "c17") return gen_c17();
@@ -45,6 +123,7 @@ Netlist make_benchmark(const std::string& name) {
     if (name == "c1908") return gen_secded16();
     if (name == "c3540") return gen_alu_bcd();
     if (name == "c6288") return gen_mult16();
+    if (auto large = make_large_circuit(name)) return std::move(*large);
     throw std::out_of_range("unknown benchmark '" + name + "'");
   }();
   // The paper's circuits come out of Design Compiler; fold the constants the

@@ -32,8 +32,28 @@ const std::vector<BenchmarkSpec>& iscas85_specs();
 const BenchmarkSpec& spec_for(const std::string& name);
 
 /// Instantiate the functional reproduction of a benchmark by name
-/// (c432, c499, c880, c1908, c3540, c17).
+/// (c432, c499, c880, c1908, c3540, c17), or one of the scalable
+/// large-circuit families (see gen/circuits.hpp):
+///   "mult<W>"          WxW schoolbook array multiplier (~12 W^2 gates)
+///   "wallace<W>"       WxW Wallace-tree multiplier (~7 W^2 gates)
+///   "aluecc<W>x<S>"    S chained W-bit ALU/ECC stages
+///   "rand<N>k"         fixed-seed random DAG with N*1000 gates
+/// Every netlist goes through the same synthesis-clean pipeline
+/// (constant folding, dead-gate sweep, compact); throws std::out_of_range
+/// on unknown names and std::invalid_argument on out-of-range parameters.
 Netlist make_benchmark(const std::string& name);
+
+/// One scalable large-circuit workload: a make_benchmark name plus the gate
+/// count the instantiated netlist is expected to land near (pre-measured,
+/// +-15% after the dead-gate sweep) — the registry the 100k-gate tests,
+/// benches and the CI smoke iterate over.
+struct LargeCircuitSpec {
+  std::string name;        ///< make_benchmark name ("mult96", ...).
+  int approx_gates = 0;    ///< Expected combinational gate count.
+};
+
+/// The curated large workloads, smallest first (~10k .. ~120k gates).
+const std::vector<LargeCircuitSpec>& large_circuit_specs();
 
 /// The genuine ISCAS c17 netlist (6 NAND gates), parsed from its .bench text.
 Netlist gen_c17();

@@ -1,0 +1,181 @@
+// Scalable large-circuit generators (10k .. 500k gates): the Wallace-tree
+// multiplier and the chained ALU/ECC pipeline. Together with the
+// parameterized array multiplier (multiplier.cpp) and the fixed-seed random
+// DAGs (random_circuit.cpp) these provide the 100k-gate-class workloads the
+// stripe-major EvalPlan layout is benchmarked on. Both are deterministic
+// functions of their parameters, and every gate they emit sits in the cone
+// of some primary output (provably-zero overflow signals are folded into the
+// MSB via XOR identity instead of being left dangling).
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gen/builder.hpp"
+#include "gen/circuits.hpp"
+
+namespace tz {
+namespace {
+
+/// Half adder in AOI style: sum = x ^ y, carry = x & y.
+AdderResult half_adder(Builder& b, NodeId x, NodeId y) {
+  AdderResult r;
+  r.sum.push_back(b.xor_(x, y));
+  r.carry_out = b.and_(x, y);
+  return r;
+}
+
+}  // namespace
+
+Netlist gen_wallace_mult(int width) {
+  if (width < 2 || width > 512) {
+    throw std::invalid_argument("gen_wallace_mult: width must be in [2, 512]");
+  }
+  const int w = width;
+  Builder b("wallace" + std::to_string(w));
+  const Bus a = b.input_bus("a", w);
+  const Bus y = b.input_bus("b", w);
+
+  // Column stacks: col[c] holds every not-yet-summed signal of weight 2^c.
+  // One extra column catches structural carries out of weight 2w-1; the
+  // product is < 2^(2w) so those signals are provably zero.
+  std::vector<Bus> col(2 * w + 1);
+  for (int j = 0; j < w; ++j) {
+    for (int i = 0; i < w; ++i) {
+      col[i + j].push_back(b.and_(a[i], y[j]));
+    }
+  }
+
+  // 3:2 compression layers: every layer replaces triples with a full adder
+  // (sum stays, carry moves up one column) and pairs with a half adder,
+  // shrinking the tallest column by ~2/3 per layer — O(log w) layers total.
+  auto needs_layer = [&] {
+    for (const Bus& c : col) {
+      if (c.size() > 2) return true;
+    }
+    return false;
+  };
+  while (needs_layer()) {
+    std::vector<Bus> next(col.size());
+    for (std::size_t c = 0; c < col.size(); ++c) {
+      const Bus& v = col[c];
+      std::size_t i = 0;
+      for (; i + 3 <= v.size(); i += 3) {
+        const AdderResult fa = full_adder(b, v[i], v[i + 1], v[i + 2]);
+        next[c].push_back(fa.sum[0]);
+        next[std::min(c + 1, col.size() - 1)].push_back(fa.carry_out);
+      }
+      if (i + 2 == v.size()) {
+        const AdderResult ha = half_adder(b, v[i], v[i + 1]);
+        next[c].push_back(ha.sum[0]);
+        next[std::min(c + 1, col.size() - 1)].push_back(ha.carry_out);
+      } else if (i + 1 == v.size()) {
+        next[c].push_back(v[i]);
+      }
+    }
+    col = std::move(next);
+  }
+
+  // Final carry-propagate ripple over the two remaining rows.
+  Bus product;
+  product.reserve(2 * w);
+  NodeId carry = kNoNode;
+  for (int c = 0; c < 2 * w; ++c) {
+    Bus v = col[c];
+    if (carry != kNoNode) v.push_back(carry);
+    carry = kNoNode;
+    NodeId bit;
+    if (v.empty()) {
+      // Unreachable for w >= 2 (every weight below 2w is expressible), but
+      // keep the generator total: an explicit tie-low bit.
+      bit = b.netlist().const_node(false);
+    } else if (v.size() == 1) {
+      bit = v[0];
+    } else if (v.size() == 2) {
+      const AdderResult ha = half_adder(b, v[0], v[1]);
+      bit = ha.sum[0];
+      carry = ha.carry_out;
+    } else {
+      const AdderResult fa = full_adder(b, v[0], v[1], v[2]);
+      bit = fa.sum[0];
+      carry = fa.carry_out;
+    }
+    product.push_back(bit);
+  }
+  // Weight-2w signals (final ripple carry + anything compression pushed into
+  // the guard column) are provably zero; XOR them into the MSB — a functional
+  // identity that keeps their whole cones observable.
+  Bus zeros = col[2 * w];
+  if (carry != kNoNode) zeros.push_back(carry);
+  for (NodeId z : zeros) product.back() = b.xor_(product.back(), z);
+
+  b.output_bus(product);
+  Netlist nl = std::move(b).take();
+  nl.check();
+  return nl;
+}
+
+Netlist gen_alu_ecc_chain(int width, int stages) {
+  if (width < 2 || width > 1024) {
+    throw std::invalid_argument("gen_alu_ecc_chain: width must be in [2, 1024]");
+  }
+  if (stages < 1 || stages > 4096) {
+    throw std::invalid_argument(
+        "gen_alu_ecc_chain: stages must be in [1, 4096]");
+  }
+  const int w = width;
+  Builder b("aluecc" + std::to_string(w) + "x" + std::to_string(stages));
+  Bus acc = b.input_bus("a", w);
+  const Bus key = b.input_bus("k", w);
+  // A small select bus reused cyclically across stages keeps the input count
+  // independent of depth (the pipeline shape: narrow control, wide data).
+  const Bus sel = b.input_bus("s", 4);
+
+  // Syndrome group count: ceil(log2(w)) Hamming parity positions.
+  int groups = 0;
+  while ((1 << groups) < w) ++groups;
+
+  NodeId carry = sel[0];  // stage 0 carry-in; later stages chain carries
+  for (int st = 0; st < stages; ++st) {
+    // Rotate the key by the stage index so no two stages compute the same
+    // function (and the constant folder can't collapse the chain).
+    Bus rk(w);
+    for (int i = 0; i < w; ++i) rk[i] = key[(i + st) % w];
+
+    // Arithmetic arm: acc + rot(key), carry chained from the previous stage
+    // so every stage's carry-out is observable through the next stage.
+    const AdderResult sum = ripple_adder(b, acc, rk, carry);
+    carry = sum.carry_out;
+
+    // Logic arm: acc ^ rot(key).
+    Bus lx(w);
+    for (int i = 0; i < w; ++i) lx[i] = b.xor_(acc[i], rk[i]);
+
+    // Hamming-style syndrome over the sum: parity group g covers every bit
+    // whose index has bit g set — the deep XOR trees of the ECC benchmarks.
+    Bus syn(groups);
+    Bus members;
+    for (int g = 0; g < groups; ++g) {
+      members.clear();
+      for (int i = 0; i < w; ++i) {
+        if ((i >> g) & 1) members.push_back(sum.sum[i]);
+      }
+      syn[g] = b.xor_n(members);
+    }
+
+    // Mix: select per-bit between the arms, then fold the syndrome back in.
+    const NodeId pick = sel[(st + 1) % static_cast<int>(sel.size())];
+    Bus next(w);
+    for (int i = 0; i < w; ++i) {
+      next[i] = b.xor_(b.mux(pick, sum.sum[i], lx[i]), syn[i % groups]);
+    }
+    acc = std::move(next);
+  }
+
+  b.output_bus(acc);
+  b.output(carry);
+  Netlist nl = std::move(b).take();
+  nl.check();
+  return nl;
+}
+
+}  // namespace tz

@@ -1,11 +1,16 @@
-// c6288-class: 16x16 array multiplier. The real c6288 is a 2406-gate
+// c6288-class: WxW array multipliers. The real c6288 is a 2406-gate
 // ripple-carry array of 240 full/half adders over 256 partial products; we
 // rebuild the same schoolbook array with NAND-decomposed XORs (the c6288
 // cell style), which lands in the same gate-count class and reproduces its
 // signature structure: very deep carry chains and partial-product AND rows
 // whose one-probability (0.25 and shrinking along the carry diagonals)
 // drifts far from 0.5 — the stress shape for signal-probability analysis,
-// ATPG and the TrojanZero flow engines on a >2k-gate circuit.
+// ATPG and the TrojanZero flow engines. The width is a parameter: W=16 is
+// the c6288 reproduction, W=96 is the ~110k-gate EvalPlan scale workload
+// (gate count grows as ~12 W^2).
+#include <stdexcept>
+#include <string>
+
 #include "gen/builder.hpp"
 #include "gen/circuits.hpp"
 
@@ -37,11 +42,9 @@ AddBit half_add(Builder& b, NodeId x, NodeId y) {
   return {nand_xor(b, x, y), b.and_(x, y)};
 }
 
-}  // namespace
-
-Netlist gen_mult16() {
-  constexpr int kW = 16;
-  Builder b("c6288");
+Netlist gen_mult_array_named(int width, const std::string& name) {
+  const int kW = width;
+  Builder b(name);
   const Bus a = b.input_bus("a", kW);
   const Bus y = b.input_bus("b", kW);
 
@@ -90,5 +93,16 @@ Netlist gen_mult16() {
   nl.check();
   return nl;
 }
+
+}  // namespace
+
+Netlist gen_mult_array(int width) {
+  if (width < 2 || width > 512) {
+    throw std::invalid_argument("gen_mult_array: width must be in [2, 512]");
+  }
+  return gen_mult_array_named(width, "mult" + std::to_string(width));
+}
+
+Netlist gen_mult16() { return gen_mult_array_named(16, "c6288"); }
 
 }  // namespace tz

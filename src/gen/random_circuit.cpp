@@ -1,13 +1,31 @@
 #include "gen/random_circuit.hpp"
 
 #include <random>
+#include <stdexcept>
 
 namespace tz {
 
 Netlist random_circuit(const RandomCircuitSpec& spec) {
+  // An empty input pool would make the fanin draw below sample from
+  // uniform_int_distribution(0, -1) — undefined behaviour — and a gateless
+  // "circuit" has no observable logic; reject both up front.
+  if (spec.num_inputs <= 0) {
+    throw std::invalid_argument("random_circuit: num_inputs must be positive");
+  }
+  if (spec.num_gates <= 0) {
+    throw std::invalid_argument("random_circuit: num_gates must be positive");
+  }
+  if (spec.num_outputs <= 0) {
+    throw std::invalid_argument("random_circuit: num_outputs must be positive");
+  }
+  if (spec.max_fanin < 2) {
+    throw std::invalid_argument("random_circuit: max_fanin must be >= 2");
+  }
   std::mt19937_64 rng(spec.seed);
   Netlist nl("rand_" + std::to_string(spec.seed));
   std::vector<NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(spec.num_inputs) +
+               static_cast<std::size_t>(spec.num_gates));
   for (int i = 0; i < spec.num_inputs; ++i) {
     pool.push_back(nl.add_input("in" + std::to_string(i)));
   }
@@ -16,6 +34,7 @@ Netlist random_circuit(const RandomCircuitSpec& spec) {
       GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf,
   };
   std::uniform_int_distribution<int> type_dist(0, 7);
+  std::vector<NodeId> fanin;
   for (int g = 0; g < spec.num_gates; ++g) {
     const GateType t = kTypes[type_dist(rng)];
     const Arity ar = arity_of(t);
@@ -25,11 +44,32 @@ Netlist random_circuit(const RandomCircuitSpec& spec) {
                                             std::max(ar.min, spec.max_fanin));
       fanin_count = fd(rng);
     }
-    std::vector<NodeId> fanin;
+    // More fanins than distinct pool nodes can never be deduplicated, but
+    // the arity floor is a hard legality bound — never clamp below it (a
+    // 1-input pool keeps its unavoidable duplicate on the very first gates).
+    fanin_count = std::max<int>(
+        ar.min, std::min<int>(fanin_count, static_cast<int>(pool.size())));
+    fanin.clear();
     // Bias toward recent nodes to get realistic logic depth.
     std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
     for (int i = 0; i < fanin_count; ++i) {
       std::size_t idx = std::max(pick(rng), pick(rng));
+      // Redraw duplicate picks: a gate reading the same node twice collapses
+      // (XOR(a,a) ≡ 0, AND(a,a) ≡ a, ...) and skews rare-value statistics.
+      // The retry cap keeps termination deterministic even in degenerate
+      // pools; past it, probe linearly for the nearest unused node.
+      const auto used = [&](std::size_t c) {
+        for (NodeId f : fanin) {
+          if (f == pool[c]) return true;
+        }
+        return false;
+      };
+      if (static_cast<std::size_t>(i) < pool.size()) {
+        for (int tries = 0; used(idx) && tries < 64; ++tries) {
+          idx = std::max(pick(rng), pick(rng));
+        }
+        while (used(idx)) idx = (idx + pool.size() - 1) % pool.size();
+      }
       fanin.push_back(pool[idx]);
     }
     pool.push_back(nl.add_gate(t, "g" + std::to_string(g), fanin));

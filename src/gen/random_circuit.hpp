@@ -18,7 +18,11 @@ struct RandomCircuitSpec {
 /// A random combinational netlist over the full gate alphabet (minus MUX and
 /// DFF unless enabled). Every gate reads previously created nodes, so the
 /// result is acyclic by construction; outputs are drawn from the last gates
-/// so most of the circuit is observable.
+/// so most of the circuit is observable. Fanin picks are recency-biased for
+/// realistic depth and deduplicated per gate (no gate reads the same node
+/// twice, so XOR/XNOR gates never collapse to constants). Throws
+/// std::invalid_argument on non-positive inputs/gates/outputs or
+/// max_fanin < 2. Deterministic for a given spec: same seed, same netlist.
 Netlist random_circuit(const RandomCircuitSpec& spec);
 
 }  // namespace tz

@@ -5,22 +5,24 @@
 #include <cstdlib>
 #include <string_view>
 
+#include "sim/simd.hpp"
+
 namespace tz {
 
 namespace {
 
-int read_env_mode() {
-  // Anything that reads as "off" disables the plan path; unrecognized
-  // values keep the default so a typo cannot silently flip an A/B run the
-  // other way ("0", "false" and "off" are what CI and operators write).
-  if (const char* env = std::getenv("TZ_EVAL_PLAN")) {
+/// Env switch helper: "0", "false" and "off" disable, anything else keeps
+/// the default (a typo cannot silently flip an A/B run the other way).
+bool env_disabled(const char* name) {
+  if (const char* env = std::getenv(name)) {
     const std::string_view v(env);
-    if (v == "0" || v == "false" || v == "FALSE" || v == "off" || v == "OFF") {
-      return 0;
-    }
+    return v == "0" || v == "false" || v == "FALSE" || v == "off" ||
+           v == "OFF";
   }
-  return 1;
+  return false;
 }
+
+int read_env_mode() { return env_disabled("TZ_EVAL_PLAN") ? 0 : 1; }
 
 std::atomic<int>& override_mode() {
   static std::atomic<int> mode{-1};
@@ -158,6 +160,38 @@ void EvalPlan::evaluate(std::uint64_t* values, std::size_t words) const {
     evaluate_block(values, words, w0, std::min(block, words - w0));
   }
 }
+
+void EvalPlan::evaluate_striped(std::uint64_t* values,
+                                std::size_t words) const {
+  if (words == 0) return;
+  const std::size_t bw = block_words(words);
+  const detail::StripeKernelFn kern = detail::stripe_kernel();
+  for (std::size_t w0 = 0; w0 < words; w0 += bw) {
+    kern(*this, values + num_slots() * w0, std::min(bw, words - w0));
+  }
+}
+
+namespace detail {
+namespace {
+
+StripeKernelFn pick_stripe_kernel() {
+  // TZ_SIMD=0 forces the portable kernel (the SIMD-vs-scalar A/B switch and
+  // the escape hatch if an ISA-specific miscompile ever needs ruling out).
+  if (env_disabled("TZ_SIMD")) return eval_plan_stripe_generic;
+#if defined(TZ_AVX2_KERNELS) && defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) return eval_plan_stripe_avx2;
+#endif
+  return eval_plan_stripe_generic;
+}
+
+}  // namespace
+
+StripeKernelFn stripe_kernel() {
+  static const StripeKernelFn fn = pick_stripe_kernel();
+  return fn;
+}
+
+}  // namespace detail
 
 void EvalPlan::evaluate_scalar(std::uint64_t* values) const {
   // One word per row: the row index IS the value index, and eval_plan_slot's

@@ -117,9 +117,21 @@ class EvalPlan {
   /// in cache-sized word stripes (see block_words).
   void evaluate(std::uint64_t* values, std::size_t words) const;
 
-  /// Stripe width used by evaluate() for a given row width: the widest
-  /// stripe whose slot-major working set stays cache-resident, floored so
-  /// the per-stripe opcode/CSR walk amortizes over enough words.
+  /// Stripe-major evaluation: `values` holds ceil(words / block_words(words))
+  /// stripe blocks, stripe b covering words [b*bw, ...) with row r at
+  /// `values + num_slots*b*bw + r*stripe_width`. Same pre-fill contract as
+  /// evaluate() (sources scattered per stripe by the caller — see
+  /// BitSimulator::run). Each stripe runs through the runtime-dispatched
+  /// SIMD kernel (sim/simd.hpp): the whole working set of a stripe is one
+  /// contiguous block, so the walk stays cache- and TLB-resident where the
+  /// contiguous layout strides a full row length between consecutive slots.
+  void evaluate_striped(std::uint64_t* values, std::size_t words) const;
+
+  /// Stripe width used by evaluate()/evaluate_striped() for a given row
+  /// width: the widest stripe whose slot-major working set stays
+  /// cache-resident, floored so the per-stripe opcode/CSR walk amortizes
+  /// over enough words. NodeValues sizes its stripe-major layout with the
+  /// same function, which is what keeps the two in lockstep.
   std::size_t block_words(std::size_t words) const;
 
   // ---- incremental patching (SuiteOracle::resync_structure) ----

@@ -1,0 +1,3 @@
+// Base-ISA stripe kernel: portable 4x64 word ops (see eval_stripe_impl.hpp).
+#define TZ_STRIPE_FN eval_plan_stripe_generic
+#include "sim/eval_stripe_impl.hpp"

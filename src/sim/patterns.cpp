@@ -1,5 +1,6 @@
 #include "sim/patterns.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <stdexcept>
 
@@ -9,13 +10,14 @@ PatternSet::PatternSet(std::size_t num_signals, std::size_t num_patterns)
     : num_signals_(num_signals),
       num_patterns_(num_patterns),
       words_per_signal_((num_patterns + 63) / 64),
+      capacity_words_(words_per_signal_),
       bits_(num_signals * words_per_signal_, 0) {}
 
 void PatternSet::set(std::size_t pattern, std::size_t signal, bool value) {
   if (pattern >= num_patterns_ || signal >= num_signals_) {
     throw std::out_of_range("PatternSet::set");
   }
-  std::uint64_t& w = bits_[signal * words_per_signal_ + pattern / 64];
+  std::uint64_t& w = bits_[signal * capacity_words_ + pattern / 64];
   const std::uint64_t m = std::uint64_t{1} << (pattern % 64);
   if (value) w |= m; else w &= ~m;
 }
@@ -24,20 +26,52 @@ bool PatternSet::get(std::size_t pattern, std::size_t signal) const {
   if (pattern >= num_patterns_ || signal >= num_signals_) {
     throw std::out_of_range("PatternSet::get");
   }
-  const std::uint64_t w = bits_[signal * words_per_signal_ + pattern / 64];
+  const std::uint64_t w = bits_[signal * capacity_words_ + pattern / 64];
   return (w >> (pattern % 64)) & 1;
 }
 
 std::span<const std::uint64_t> PatternSet::words(std::size_t signal) const {
-  return {bits_.data() + signal * words_per_signal_, words_per_signal_};
+  return {bits_.data() + signal * capacity_words_, words_per_signal_};
 }
 
 std::span<std::uint64_t> PatternSet::words(std::size_t signal) {
-  return {bits_.data() + signal * words_per_signal_, words_per_signal_};
+  return {bits_.data() + signal * capacity_words_, words_per_signal_};
 }
 
 std::uint64_t PatternSet::tail_mask() const {
   return tail_mask_for(num_patterns_);
+}
+
+bool PatternSet::operator==(const PatternSet& other) const {
+  // Capacity and padding are representation details; equality is over the
+  // logical (num_signals x num_patterns) content only. The tail-hygiene
+  // invariant (bits past num_patterns_ in the last word are zero) makes the
+  // last word directly comparable.
+  if (num_signals_ != other.num_signals_ ||
+      num_patterns_ != other.num_patterns_) {
+    return false;
+  }
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    const auto a = words(s);
+    const auto b = other.words(s);
+    if (!std::equal(a.begin(), a.end(), b.begin())) return false;
+  }
+  return true;
+}
+
+void PatternSet::reserve(std::size_t num_patterns) {
+  const std::size_t want = (num_patterns + 63) / 64;
+  if (want <= capacity_words_) return;
+  // Re-layout into the wider stride. Fresh capacity words are zero-filled so
+  // the tail-hygiene invariant (everything past the logical width is zero)
+  // survives the move.
+  std::vector<std::uint64_t> grown(num_signals_ * want, 0);
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    std::copy_n(bits_.data() + s * capacity_words_, words_per_signal_,
+                grown.data() + s * want);
+  }
+  bits_ = std::move(grown);
+  capacity_words_ = want;
 }
 
 PatternSet PatternSet::slice(std::size_t first, std::size_t count) const {
@@ -45,23 +79,35 @@ PatternSet PatternSet::slice(std::size_t first, std::size_t count) const {
     throw std::out_of_range("PatternSet::slice");
   }
   PatternSet out(num_signals_, count);
-  for (std::size_t p = 0; p < count; ++p) {
-    for (std::size_t s = 0; s < num_signals_; ++s) {
-      out.set(p, s, get(first + p, s));
+  if (count == 0) return out;
+  const std::size_t word0 = first / 64;
+  const std::size_t shift = first % 64;
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    const auto src = words(s);
+    auto dst = out.words(s);
+    // Word-wise funnel shift instead of per-bit set/get: dst word w is the
+    // 64-bit window of src starting at bit `first + 64w`.
+    for (std::size_t w = 0; w < dst.size(); ++w) {
+      std::uint64_t v = src[word0 + w] >> shift;
+      if (shift != 0 && word0 + w + 1 < src.size()) {
+        v |= src[word0 + w + 1] << (64 - shift);
+      }
+      dst[w] = v;
     }
+    dst.back() &= out.tail_mask();
   }
   return out;
 }
 
 void PatternSet::append(std::span<const bool> bits) {
   if (bits.size() != num_signals_) throw std::invalid_argument("append: width");
-  PatternSet grown(num_signals_, num_patterns_ + 1);
-  for (std::size_t s = 0; s < num_signals_; ++s) {
-    auto dst = grown.words(s);
-    auto src = words(s);
-    std::copy(src.begin(), src.end(), dst.begin());
+  // Amortized O(num_signals): capacity doubles, so the re-layout copy in
+  // reserve() runs O(log P) times overall instead of once per pattern.
+  if (num_patterns_ + 1 > 64 * capacity_words_) {
+    reserve(std::max<std::size_t>(num_patterns_ + 1, 128 * capacity_words_));
   }
-  *this = std::move(grown);
+  ++num_patterns_;
+  words_per_signal_ = (num_patterns_ + 63) / 64;
   for (std::size_t s = 0; s < num_signals_; ++s) {
     set(num_patterns_ - 1, s, bits[s]);
   }
@@ -71,18 +117,31 @@ void PatternSet::append_all(const PatternSet& other) {
   if (other.num_signals_ != num_signals_) {
     throw std::invalid_argument("append_all: width mismatch");
   }
-  PatternSet grown(num_signals_, num_patterns_ + other.num_patterns_);
-  for (std::size_t p = 0; p < num_patterns_; ++p) {
-    for (std::size_t s = 0; s < num_signals_; ++s) {
-      grown.set(p, s, get(p, s));
+  if (other.num_patterns_ == 0) return;
+  const std::size_t old_patterns = num_patterns_;
+  const std::size_t total = num_patterns_ + other.num_patterns_;
+  if (total > 64 * capacity_words_) {
+    reserve(std::max<std::size_t>(total, 128 * capacity_words_));
+  }
+  num_patterns_ = total;
+  words_per_signal_ = (total + 63) / 64;
+  const std::size_t word0 = old_patterns / 64;
+  const std::size_t shift = old_patterns % 64;
+  for (std::size_t s = 0; s < num_signals_; ++s) {
+    auto dst = words(s);
+    const auto src = other.words(s);
+    // Word-wise splice at the old tail: the incoming words are OR-merged at
+    // bit offset `shift` (the old last word's free lanes are zero by the
+    // tail-hygiene invariant, so OR is exact).
+    for (std::size_t w = 0; w < src.size(); ++w) {
+      std::uint64_t v = src[w];
+      if (w + 1 == src.size()) v &= tail_mask_for(other.num_patterns_);
+      dst[word0 + w] |= v << shift;
+      if (shift != 0 && word0 + w + 1 < dst.size()) {
+        dst[word0 + w + 1] |= v >> (64 - shift);
+      }
     }
   }
-  for (std::size_t p = 0; p < other.num_patterns_; ++p) {
-    for (std::size_t s = 0; s < num_signals_; ++s) {
-      grown.set(num_patterns_ + p, s, other.get(p, s));
-    }
-  }
-  *this = std::move(grown);
 }
 
 PatternSet random_patterns(std::size_t num_signals, std::size_t num_patterns,

@@ -40,22 +40,34 @@ class PatternSet {
   /// Mask with ones for every valid pattern position in the last word.
   std::uint64_t tail_mask() const;
 
-  /// Copy `count` consecutive patterns starting at `first` into a new set.
+  /// Copy `count` consecutive patterns starting at `first` into a new set
+  /// (word-wise funnel shifts, not per-bit get/set).
   PatternSet slice(std::size_t first, std::size_t count) const;
 
+  /// Grow the per-signal word capacity to hold `num_patterns` patterns
+  /// without re-laying out on every future append. No-op when already big
+  /// enough; never shrinks and never changes the logical content.
+  void reserve(std::size_t num_patterns);
+
   /// Append one pattern given per-signal bits (size == num_signals).
+  /// Amortized O(num_signals): capacity grows geometrically (ATPG top-up
+  /// appends thousands of patterns — a full-matrix copy per pattern would be
+  /// O(P^2) in the suite size).
   void append(std::span<const bool> bits);
 
-  /// Concatenate another set with the same signal count.
+  /// Concatenate another set with the same signal count (word-wise splice).
   void append_all(const PatternSet& other);
 
-  bool operator==(const PatternSet&) const = default;
+  /// Logical equality: same signal/pattern counts and the same bits.
+  /// Capacity and padding representation are ignored.
+  bool operator==(const PatternSet& other) const;
 
  private:
   std::size_t num_signals_ = 0;
   std::size_t num_patterns_ = 0;
-  std::size_t words_per_signal_ = 0;
-  std::vector<std::uint64_t> bits_;  // [signal][word]
+  std::size_t words_per_signal_ = 0;  ///< ceil(num_patterns / 64)
+  std::size_t capacity_words_ = 0;    ///< row stride of bits_ (>= words)
+  std::vector<std::uint64_t> bits_;   // [signal][word], stride capacity_words_
 };
 
 /// P uniformly random patterns (deterministic for a given seed).

@@ -27,7 +27,16 @@ BitSimulator::BitSimulator(const Netlist& nl,
 }
 
 NodeValues BitSimulator::run(const PatternSet& inputs,
-                             const std::vector<std::uint64_t>* dff_state) const {
+                             const std::vector<std::uint64_t>* dff_state,
+                             ValueLayout layout) const {
+  NodeValues vals;
+  run_into(vals, inputs, dff_state, layout);
+  return vals;
+}
+
+void BitSimulator::run_into(NodeValues& vals, const PatternSet& inputs,
+                            const std::vector<std::uint64_t>* dff_state,
+                            ValueLayout layout) const {
   const auto& nl = *nl_;
   if (inputs.num_signals() != nl.inputs().size()) {
     throw std::invalid_argument("BitSimulator: pattern width != #inputs");
@@ -38,17 +47,47 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
   const std::size_t words = inputs.num_words();
 
   if (plan_) {
+    // Reuse is shape-equality: same plan, same width, and the same stripe
+    // decision the requested layout would make on a fresh matrix. Every slot
+    // row is rewritten by the scatter + evaluate below, so stale values
+    // cannot leak.
+    const bool want_striped = layout != ValueLayout::Contiguous && words > 1 &&
+                              plan_->block_words(words) < words;
+    if (vals.plan() != plan_.get() || vals.num_words() != words ||
+        vals.striped() != want_striped) {
+      vals = NodeValues(plan_, words, layout);
+    }
     // Compiled path: scatter the source rows into the slot-major matrix and
     // walk the opcode stream once (blocked over word stripes inside).
-    NodeValues vals(plan_, words);
     std::uint64_t* base = vals.data();
     const std::vector<SlotId>& in_slots = plan_->input_slots();
+    const std::vector<SlotId>& dff_slots = plan_->dff_slots();
+    if (vals.striped()) {
+      // Stripe-major: source row r of stripe [w0, w0+wb) lives at
+      // stripe_base + r * wb. One pass per stripe keeps the writes as
+      // sequential as the evaluation that follows.
+      const std::size_t sw = vals.stripe_words();
+      const std::size_t slots = plan_->num_slots();
+      for (std::size_t w0 = 0; w0 < words; w0 += sw) {
+        const std::size_t wb = std::min(sw, words - w0);
+        std::uint64_t* sb = base + slots * w0;
+        for (std::size_t i = 0; i < in_slots.size(); ++i) {
+          auto src = inputs.words(i);
+          std::copy_n(src.data() + w0, wb, sb + std::size_t{in_slots[i]} * wb);
+        }
+        for (std::size_t i = 0; i < dff_slots.size(); ++i) {
+          std::fill_n(sb + std::size_t{dff_slots[i]} * wb, wb,
+                      dff_state ? (*dff_state)[i] : 0);
+        }
+      }
+      plan_->evaluate_striped(base, words);
+      return;
+    }
     for (std::size_t i = 0; i < in_slots.size(); ++i) {
       auto src = inputs.words(i);
       std::copy(src.begin(), src.end(),
                 base + std::size_t{in_slots[i]} * words);
     }
-    const std::vector<SlotId>& dff_slots = plan_->dff_slots();
     for (std::size_t i = 0; i < dff_slots.size(); ++i) {
       // The matrix is allocated uninitialized; DFF source rows must be
       // seeded either way (reset state is all-zero).
@@ -56,20 +95,24 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
                   dff_state ? (*dff_state)[i] : 0);
     }
     plan_->evaluate(base, words);
-    return vals;
+    return;
   }
 
-  NodeValues vals(nl.raw_size(), words);
+  if (vals.plan() != nullptr || vals.num_rows() != nl.raw_size() ||
+      vals.num_words() != words || vals.striped()) {
+    vals = NodeValues(nl.raw_size(), words);
+  }
   for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
     auto src = inputs.words(i);
     std::uint64_t* dst = vals.row(nl.inputs()[i]);
     std::copy(src.begin(), src.end(), dst);
   }
-  if (dff_state) {
-    for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
-      std::uint64_t* dst = vals.row(nl.dffs()[i]);
-      for (std::size_t w = 0; w < words; ++w) dst[w] = (*dff_state)[i];
-    }
+  // DFF rows are seeded unconditionally: a fresh matrix starts zeroed, but a
+  // reused one may hold a previous run's state.
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    std::uint64_t* dst = vals.row(nl.dffs()[i]);
+    const std::uint64_t v = dff_state ? (*dff_state)[i] : 0;
+    for (std::size_t w = 0; w < words; ++w) dst[w] = v;
   }
   // Node-major: one pass over the topological order with the word loop
   // innermost, so each gate is a straight-line bitwise kernel over its rows.
@@ -82,7 +125,7 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
       vals.row(id)[0] =
           eval_gate_word(n, [&](NodeId f) { return vals.row(f)[0]; });
     }
-    return vals;
+    return;
   }
   for (NodeId id : order_) {
     const Node& n = nl.node(id);
@@ -90,7 +133,6 @@ NodeValues BitSimulator::run(const PatternSet& inputs,
     eval_gate_row(
         n, words, [&](NodeId f) { return vals.row(f); }, vals.row(id));
   }
-  return vals;
 }
 
 PatternSet BitSimulator::outputs(const PatternSet& inputs) const {
@@ -98,8 +140,8 @@ PatternSet BitSimulator::outputs(const PatternSet& inputs) const {
   PatternSet out(nl_->outputs().size(), inputs.num_patterns());
   for (std::size_t o = 0; o < nl_->outputs().size(); ++o) {
     auto dst = out.words(o);
-    const std::uint64_t* src = vals.row(nl_->outputs()[o]);
-    for (std::size_t w = 0; w < out.num_words(); ++w) dst[w] = src[w];
+    // copy_row gathers across stripes when the run came out stripe-major.
+    vals.copy_row(nl_->outputs()[o], dst.data());
     if (!dst.empty()) dst.back() &= out.tail_mask();
   }
   return out;
@@ -128,9 +170,19 @@ std::vector<std::uint64_t> count_toggles(const Netlist& nl,
                                          std::size_t num_patterns) {
   std::vector<std::uint64_t> toggles(nl.raw_size(), 0);
   const std::size_t words = vals.num_words();
+  // The pair counting needs word w and w+1 together; a stripe-major matrix
+  // splits rows, so gather each row once (the copy is the same O(words) the
+  // count itself costs).
+  std::vector<std::uint64_t> scratch(vals.striped() ? words : 0);
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
     if (!nl.is_alive(id)) continue;
-    const std::uint64_t* row = vals.row(id);
+    const std::uint64_t* row;
+    if (vals.striped()) {
+      vals.copy_row(id, scratch.data());
+      row = scratch.data();
+    } else {
+      row = vals.row(id);
+    }
     // Transitions between consecutive patterns: XOR the bit stream with a
     // one-position shift of itself and popcount. Bit i of word w pairs
     // pattern 64w+i with 64w+i+1; the shift carries the next word's lowest
@@ -168,12 +220,17 @@ std::vector<double> simulated_one_probability(const Netlist& nl,
   const std::uint64_t tail = tail_mask_for(num_patterns);
   for (NodeId id = 0; id < nl.raw_size(); ++id) {
     if (!nl.is_alive(id)) continue;
-    const std::uint64_t* row = vals.row(id);
     std::uint64_t ones = 0;
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t v = row[w];
-      if (w + 1 == words) v &= tail;
-      ones += static_cast<std::uint64_t>(std::popcount(v));
+    // Popcount has no cross-word coupling: walk the row's contiguous
+    // segments in place (one whole-row segment on contiguous layouts).
+    for (std::size_t w = 0; w < words;) {
+      const auto seg = vals.segment(id, w);
+      for (std::size_t k = 0; k < seg.size(); ++k) {
+        std::uint64_t v = seg[k];
+        if (w + k + 1 == words) v &= tail;
+        ones += static_cast<std::uint64_t>(std::popcount(v));
+      }
+      w += seg.size();
     }
     prob[id] = num_patterns == 0
                    ? 0.0

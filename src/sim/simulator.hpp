@@ -14,8 +14,11 @@
 // evaluator is kept (TZ_EVAL_PLAN=0) and produces bit-identical values.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -46,34 +49,102 @@ struct DefaultInitAllocator : std::allocator<T> {
 };
 }  // namespace detail
 
+/// Value-matrix storage layout for plan-backed runs (see NodeValues).
+enum class ValueLayout {
+  /// Let the plan pick: stripe-major whenever the blocked walk would split
+  /// the row width anyway (large matrices), dense slot-major otherwise.
+  Auto,
+  /// Force one contiguous row per slot. Required by the engines that do raw
+  /// `data() + slot * words` pointer arithmetic over whole rows
+  /// (FaultSimEngine's good machine, any external row consumer).
+  Contiguous,
+  /// Stripe-major when the blocked walk splits (same condition as Auto
+  /// today; spelled out for callers that specifically want the cache-blocked
+  /// layout and should fail loudly if Auto's heuristic ever diverges).
+  Striped,
+};
+
 /// Per-node simulation values for a block of patterns: value(node, word).
 /// Rows are node-major (one row per NodeId slot) unless constructed over an
 /// EvalPlan, in which case storage is dense slot-major and row(id) resolves
 /// through the plan — reading a row of a dead node is then invalid.
+///
+/// Under ValueLayout::Auto/Striped a large matrix becomes stripe-major: the
+/// words are cut into stripes of stripe_words() (== EvalPlan::block_words),
+/// each stripe holding all rows contiguously, so the blocked evaluate walk
+/// touches one compact stripe at a time instead of striding row-length gaps
+/// (see eval_plan.hpp). A logical row is then split across stripes: row() is
+/// invalid (it throws) and readers walk segment()/copy_slot_row() instead.
 class NodeValues {
  public:
   NodeValues() = default;
   NodeValues(std::size_t num_nodes, std::size_t num_words)
-      : num_words_(num_words), v_(num_nodes * num_words, 0) {}
+      : num_rows_(num_nodes),
+        num_words_(num_words),
+        v_(num_nodes * num_words, 0) {}
   /// Plan layout. The storage is intentionally left uninitialized: the
   /// evaluate() walk writes every slot row (BitSimulator::run zero-fills the
   /// DFF source rows it does not otherwise seed).
-  NodeValues(std::shared_ptr<const EvalPlan> plan, std::size_t num_words)
+  NodeValues(std::shared_ptr<const EvalPlan> plan, std::size_t num_words,
+             ValueLayout layout = ValueLayout::Contiguous)
       : plan_(std::move(plan)),
+        num_rows_(plan_->num_slots()),
         num_words_(num_words),
-        v_(plan_->num_slots() * num_words) {}
+        v_(plan_->num_slots() * num_words) {
+    if (layout != ValueLayout::Contiguous && num_words > 1) {
+      const std::size_t bw = plan_->block_words(num_words);
+      if (bw < num_words) stripe_words_ = bw;
+    }
+  }
 
-  std::uint64_t* row(NodeId id) { return v_.data() + row_index(id) * num_words_; }
+  /// Whole-row pointer; contiguous layouts only (throws when striped — use
+  /// segment() or copy_slot_row() there).
+  std::uint64_t* row(NodeId id) {
+    return v_.data() + contiguous_row_offset(row_index(id));
+  }
   const std::uint64_t* row(NodeId id) const {
-    return v_.data() + row_index(id) * num_words_;
+    return v_.data() + contiguous_row_offset(row_index(id));
   }
   std::size_t num_words() const { return num_words_; }
+  std::size_t num_rows() const { return num_rows_; }
   bool bit(NodeId id, std::size_t pattern) const {
-    return (row(id)[pattern / 64] >> (pattern % 64)) & 1;
+    return (v_[word_offset(row_index(id), pattern / 64)] >> (pattern % 64)) &
+           1;
+  }
+
+  /// True when the matrix is stripe-major (plan layouts over wide rows).
+  bool striped() const { return stripe_words_ != 0; }
+  /// Stripe width in words (== num_words() when contiguous).
+  std::size_t stripe_words() const {
+    return stripe_words_ ? stripe_words_ : num_words_;
+  }
+
+  /// The contiguous words of row `id` starting at word `w`: up to the next
+  /// stripe boundary when striped, the whole row tail when contiguous.
+  /// Layout-agnostic readers loop `for (w = 0; w < num_words();
+  /// w += segment(id, w).size())`.
+  std::span<const std::uint64_t> segment(NodeId id, std::size_t w) const {
+    return {v_.data() + word_offset(row_index(id), w), segment_len(w)};
+  }
+
+  /// Gather the full logical row of plan slot `s` (row `s` in the legacy
+  /// node-major layout) into `dst[0 .. num_words())` — the engines that
+  /// think in slots skip the NodeId translation.
+  void copy_slot_row(std::size_t s, std::uint64_t* dst) const {
+    for (std::size_t w = 0; w < num_words_;) {
+      const std::size_t len = segment_len(w);
+      const std::uint64_t* src = v_.data() + word_offset(s, w);
+      std::copy_n(src, len, dst + w);
+      w += len;
+    }
+  }
+  void copy_row(NodeId id, std::uint64_t* dst) const {
+    copy_slot_row(row_index(id), dst);
   }
 
   /// Slot-major backing store (plan layout) / node-major store (legacy).
-  /// Engines that already think in plan slots index this directly.
+  /// Engines that already think in plan slots index this directly; only
+  /// valid for whole-row arithmetic when !striped().
   std::uint64_t* data() { return v_.data(); }
   const std::uint64_t* data() const { return v_.data(); }
   const EvalPlan* plan() const { return plan_.get(); }
@@ -82,9 +153,33 @@ class NodeValues {
   std::size_t row_index(NodeId id) const {
     return plan_ ? plan_->slot_of(id) : id;
   }
+  std::size_t contiguous_row_offset(std::size_t r) const {
+    if (stripe_words_ != 0) {
+      throw std::logic_error(
+          "NodeValues::row: stripe-major layout has no contiguous rows; use "
+          "segment()/copy_slot_row()");
+    }
+    return r * num_words_;
+  }
+  /// Flat index of (row r, word w): stripe b starts at num_rows * b *
+  /// stripe_words and holds its rows contiguously at the stripe's width
+  /// (the last stripe may be narrower).
+  std::size_t word_offset(std::size_t r, std::size_t w) const {
+    if (stripe_words_ == 0) return r * num_words_ + w;
+    const std::size_t w0 = (w / stripe_words_) * stripe_words_;
+    const std::size_t wb = std::min(stripe_words_, num_words_ - w0);
+    return num_rows_ * w0 + r * wb + (w - w0);
+  }
+  std::size_t segment_len(std::size_t w) const {
+    if (stripe_words_ == 0) return num_words_ - w;
+    const std::size_t w0 = (w / stripe_words_) * stripe_words_;
+    return std::min(stripe_words_, num_words_ - w0) - (w - w0);
+  }
 
   std::shared_ptr<const EvalPlan> plan_;
+  std::size_t num_rows_ = 0;
   std::size_t num_words_ = 0;
+  std::size_t stripe_words_ = 0;  ///< 0 = contiguous rows
   std::vector<std::uint64_t, detail::DefaultInitAllocator<std::uint64_t>> v_;
 };
 
@@ -102,8 +197,23 @@ class BitSimulator {
 
   /// Evaluate all nodes for the given input patterns. DFF outputs are taken
   /// from `state` when provided (size = dffs().size()), else 0.
+  /// `layout` picks the value-matrix layout on the plan path (Auto goes
+  /// stripe-major for wide rows — pass Contiguous when you will read whole
+  /// rows through row()/data() pointer arithmetic); the legacy path is
+  /// always node-major contiguous.
   NodeValues run(const PatternSet& inputs,
-                 const std::vector<std::uint64_t>* dff_state = nullptr) const;
+                 const std::vector<std::uint64_t>* dff_state = nullptr,
+                 ValueLayout layout = ValueLayout::Auto) const;
+
+  /// run() into an existing matrix: when `vals` already has the right shape
+  /// (same plan/size/layout — e.g. the previous iteration's result) its
+  /// storage is reused, skipping the multi-hundred-MB allocation and the
+  /// kernel page-fault zeroing that dominates repeated large-circuit runs
+  /// (Monte-Carlo estimation, benchmark loops). Falls back to a fresh
+  /// allocation when the shape differs.
+  void run_into(NodeValues& vals, const PatternSet& inputs,
+                const std::vector<std::uint64_t>* dff_state = nullptr,
+                ValueLayout layout = ValueLayout::Auto) const;
 
   /// Evaluate and extract only primary-output values, one signal per output.
   PatternSet outputs(const PatternSet& inputs) const;

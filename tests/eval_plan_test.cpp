@@ -24,6 +24,7 @@
 #include "netlist/rewrite.hpp"
 #include "prob/signal_prob.hpp"
 #include "sim/eval_plan.hpp"
+#include "sim/simd.hpp"
 #include "sim/simulator.hpp"
 #include "testutil.hpp"
 
@@ -257,6 +258,132 @@ TEST(EvalPlan, ToggleAndProbabilityOverloadsReuseRuns) {
   EXPECT_EQ(count_toggles(nl, vals, ps.num_patterns()), count_toggles(nl, ps));
   EXPECT_EQ(simulated_one_probability(nl, vals, ps.num_patterns()),
             simulated_one_probability(nl, ps));
+}
+
+TEST(StripeLayout, StripedRunMatchesContiguous) {
+  // A netlist large enough that block_words splits the row width, so the
+  // Auto/Striped layouts actually go stripe-major. Every accessor the
+  // engines use (bit, segment, copy_row, copy_slot_row) must read the same
+  // values as a contiguous run; row() must refuse to hand out a pointer into
+  // a split row.
+  PlanModeGuard guard(1);
+  const Netlist nl = random_full_alphabet(11, 2000);
+  BitSimulator sim(nl);
+  ASSERT_NE(sim.plan(), nullptr);
+  const std::size_t words = sim.plan()->block_words(1u << 20) * 2 + 3;
+  const PatternSet ps =
+      random_patterns(nl.inputs().size(), 64 * words - 17, 0x57717E);
+  const NodeValues contig = sim.run(ps, nullptr, ValueLayout::Contiguous);
+  const NodeValues striped = sim.run(ps, nullptr, ValueLayout::Striped);
+  const NodeValues autoed = sim.run(ps, nullptr, ValueLayout::Auto);
+  ASSERT_FALSE(contig.striped());
+  ASSERT_TRUE(striped.striped());
+  ASSERT_TRUE(autoed.striped());
+  EXPECT_EQ(striped.stripe_words(), sim.plan()->block_words(ps.num_words()));
+  EXPECT_THROW(striped.row(nl.outputs()[0]), std::logic_error);
+  std::vector<std::uint64_t> gathered(ps.num_words());
+  for (NodeId id : nl.live_nodes()) {
+    const std::uint64_t* ref = contig.row(id);
+    striped.copy_row(id, gathered.data());
+    for (std::size_t w = 0; w < ps.num_words(); ++w) {
+      ASSERT_EQ(gathered[w], ref[w]) << nl.node(id).name << " word " << w;
+    }
+    // segment() walk covers the row exactly once.
+    std::size_t covered = 0;
+    for (std::size_t w = 0; w < ps.num_words();) {
+      const auto seg = striped.segment(id, w);
+      ASSERT_GT(seg.size(), 0u);
+      for (std::size_t k = 0; k < seg.size(); ++k) {
+        ASSERT_EQ(seg[k], ref[w + k]);
+      }
+      covered += seg.size();
+      w += seg.size();
+    }
+    ASSERT_EQ(covered, ps.num_words());
+  }
+  // bit() spot checks across stripe boundaries.
+  for (std::size_t p : {std::size_t{0}, 64 * striped.stripe_words() - 1,
+                        64 * striped.stripe_words(), ps.num_patterns() - 1}) {
+    for (NodeId po : nl.outputs()) {
+      ASSERT_EQ(striped.bit(po, p), contig.bit(po, p)) << p;
+      ASSERT_EQ(autoed.bit(po, p), contig.bit(po, p)) << p;
+    }
+  }
+}
+
+TEST(StripeLayout, GenericKernelMatchesDispatched) {
+  // Re-evaluating a striped matrix in place with the portable 4x64 kernel
+  // must reproduce what the dispatched kernel (AVX2 where available) wrote:
+  // the evaluation only reads source rows, so running it twice is idempotent
+  // and any SIMD-vs-scalar divergence shows as a diff.
+  PlanModeGuard guard(1);
+  const Netlist nl = random_full_alphabet(23, 1500);
+  BitSimulator sim(nl);
+  ASSERT_NE(sim.plan(), nullptr);
+  const EvalPlan& plan = *sim.plan();
+  const std::size_t words = plan.block_words(1u << 20) * 2 + 9;
+  const PatternSet ps = random_patterns(nl.inputs().size(), 64 * words, 0xD1);
+  NodeValues vals = sim.run(ps, nullptr, ValueLayout::Striped);
+  ASSERT_TRUE(vals.striped());
+  const std::size_t total = plan.num_slots() * words;
+  const std::vector<std::uint64_t> dispatched(vals.data(),
+                                              vals.data() + total);
+  const std::size_t bw = plan.block_words(words);
+  for (std::size_t w0 = 0; w0 < words; w0 += bw) {
+    detail::eval_plan_stripe_generic(plan, vals.data() + plan.num_slots() * w0,
+                                     std::min(bw, words - w0));
+  }
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(vals.data()[i], dispatched[i]) << "flat index " << i;
+  }
+}
+
+TEST(StripeLayout, RunIntoReusesStorageAndMatchesRun) {
+  PlanModeGuard guard(1);
+  const Netlist nl = make_benchmark("c3540");
+  BitSimulator sim(nl);
+  const PatternSet a = random_patterns(nl.inputs().size(), 640, 1);
+  const PatternSet b = random_patterns(nl.inputs().size(), 640, 2);
+  NodeValues vals;
+  sim.run_into(vals, a);
+  const std::uint64_t* storage = vals.data();
+  const NodeValues fresh_b = sim.run(b);
+  sim.run_into(vals, b);
+  EXPECT_EQ(vals.data(), storage);  // same-shape rerun reuses the buffer
+  for (NodeId po : nl.outputs()) {
+    for (std::size_t w = 0; w < b.num_words(); ++w) {
+      ASSERT_EQ(vals.row(po)[w], fresh_b.row(po)[w]);
+    }
+  }
+  // Shape changes reallocate instead of reinterpreting the old buffer.
+  const PatternSet wide = random_patterns(nl.inputs().size(), 1280, 3);
+  sim.run_into(vals, wide);
+  EXPECT_EQ(vals.num_words(), wide.num_words());
+  const NodeValues fresh_wide = sim.run(wide);
+  for (NodeId po : nl.outputs()) {
+    ASSERT_EQ(vals.row(po)[wide.num_words() - 1],
+              fresh_wide.row(po)[wide.num_words() - 1]);
+  }
+}
+
+TEST(StripeLayout, RunIntoReseedsDffRowsOnLegacyPath) {
+  // Regression: the legacy path used to rely on the fresh matrix being
+  // zeroed for the no-state DFF fill; a reused matrix must not leak the
+  // previous run's DFF state.
+  PlanModeGuard guard(0);
+  Netlist nl("seq");
+  const NodeId in = nl.add_input("in");
+  const NodeId q = nl.add_gate(GateType::Dff, "q", {in});
+  const NodeId o = nl.add_gate(GateType::Or, "o", {in, q});
+  nl.mark_output(o);
+  BitSimulator sim(nl);
+  PatternSet ps(1, 64);  // all-zero inputs: output == DFF state
+  const std::vector<std::uint64_t> ones = {~std::uint64_t{0}};
+  NodeValues vals;
+  sim.run_into(vals, ps, &ones);
+  ASSERT_EQ(vals.row(o)[0], ~std::uint64_t{0});
+  sim.run_into(vals, ps);  // reset state: must read 0, not stale ones
+  EXPECT_EQ(vals.row(o)[0], 0u);
 }
 
 TEST(EvalPlan, CycleSimulatorStepScratchKeepsSemantics) {

@@ -331,5 +331,188 @@ TEST(RandomCircuit, SeedsDiffer) {
             write_bench_string(random_circuit(b)));
 }
 
+TEST(RandomCircuit, ThrowsOnDegenerateSpec) {
+  // Regression: a zero-input spec used to drive
+  // uniform_int_distribution(0, -1) — undefined behaviour — and the other
+  // degenerate shapes produced unusable "circuits" instead of failing.
+  RandomCircuitSpec spec;
+  spec.num_inputs = 0;
+  EXPECT_THROW(random_circuit(spec), std::invalid_argument);
+  spec = {};
+  spec.num_gates = 0;
+  EXPECT_THROW(random_circuit(spec), std::invalid_argument);
+  spec = {};
+  spec.num_outputs = -1;
+  EXPECT_THROW(random_circuit(spec), std::invalid_argument);
+  spec = {};
+  spec.max_fanin = 1;
+  EXPECT_THROW(random_circuit(spec), std::invalid_argument);
+}
+
+TEST(RandomCircuit, NoDuplicateFanins) {
+  // Regression: duplicate fanin picks collapsed gates (XOR(a,a) == 0,
+  // AND(a,a) == a), folding large random DAGs far below the requested size.
+  // A small pool with wide gates is the stressiest shape for the dedup.
+  RandomCircuitSpec spec;
+  spec.num_inputs = 3;
+  spec.num_gates = 500;
+  spec.num_outputs = 8;
+  spec.max_fanin = 3;
+  spec.seed = 77;
+  const Netlist nl = random_circuit(spec);
+  for (NodeId id : nl.live_nodes()) {
+    const Node& n = nl.node(id);
+    for (std::size_t i = 0; i < n.fanin.size(); ++i) {
+      for (std::size_t j = i + 1; j < n.fanin.size(); ++j) {
+        EXPECT_NE(n.fanin[i], n.fanin[j]) << "gate " << n.name;
+      }
+    }
+  }
+}
+
+TEST(RandomCircuit, SameSeedSameNetlist) {
+  RandomCircuitSpec spec;
+  spec.num_gates = 300;
+  spec.seed = 1234;
+  EXPECT_EQ(write_bench_string(random_circuit(spec)),
+            write_bench_string(random_circuit(spec)));
+}
+
+// ---- The scalable large-circuit families (mult<W>, wallace<W>,
+// aluecc<W>x<S>, rand<N>k) ----
+
+/// Every alive gate must be structurally sound (legal arity, acyclic — both
+/// via check()/topo_order()) and in the fanin cone of some output: the
+/// make_benchmark sweep deletes unobservable logic, so a generator that
+/// leaks dangling gates silently shrinks below its advertised size.
+void expect_structural_invariants(const Netlist& nl) {
+  nl.check();
+  EXPECT_EQ(nl.topo_order().size(), nl.live_nodes().size());
+  std::vector<char> in_cone(nl.raw_size(), 0);
+  std::vector<NodeId> stack(nl.outputs().begin(), nl.outputs().end());
+  for (NodeId id : stack) in_cone[id] = 1;
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (NodeId f : nl.node(id).fanin) {
+      if (!in_cone[f]) {
+        in_cone[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+  for (NodeId id : nl.live_nodes()) {
+    const Node& n = nl.node(id);
+    if (is_combinational(n.type)) {
+      const Arity ar = arity_of(n.type);
+      EXPECT_GE(static_cast<int>(n.fanin.size()), ar.min) << n.name;
+      if (ar.max >= 0) {
+        EXPECT_LE(static_cast<int>(n.fanin.size()), ar.max) << n.name;
+      }
+      EXPECT_TRUE(in_cone[id]) << "gate outside every output cone: " << n.name;
+    }
+  }
+}
+
+TEST(LargeCircuits, StructuralInvariants) {
+  for (const char* name : {"mult8", "wallace8", "wallace9", "aluecc16x4"}) {
+    SCOPED_TRACE(name);
+    expect_structural_invariants(make_benchmark(name));
+  }
+}
+
+/// Shared product check: drive |patterns| random W x W operand pairs and
+/// compare against native 64-bit arithmetic.
+void expect_products_match(const Netlist& nl, int width, std::uint64_t seed) {
+  ASSERT_EQ(nl.inputs().size(), static_cast<std::size_t>(2 * width));
+  ASSERT_EQ(nl.outputs().size(), static_cast<std::size_t>(2 * width));
+  constexpr int kPatterns = 192;
+  std::mt19937_64 rng(seed);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  PatternSet ps(2 * width, kPatterns);
+  std::vector<std::uint64_t> a(kPatterns), b(kPatterns);
+  for (int p = 0; p < kPatterns; ++p) {
+    // Mix edge operands in with the random ones.
+    a[p] = p == 0 ? 0 : p == 1 ? mask : rng() & mask;
+    b[p] = p == 0 ? mask : p == 1 ? mask : rng() & mask;
+    for (int i = 0; i < width; ++i) {
+      ps.set(p, i, (a[p] >> i) & 1);
+      ps.set(p, width + i, (b[p] >> i) & 1);
+    }
+  }
+  const PatternSet out = BitSimulator(nl).outputs(ps);
+  for (int p = 0; p < kPatterns; ++p) {
+    std::uint64_t got = 0;
+    for (int o = 0; o < 2 * width; ++o) {
+      got |= static_cast<std::uint64_t>(out.get(p, o)) << o;
+    }
+    EXPECT_EQ(got, a[p] * b[p]) << a[p] << " * " << b[p];
+  }
+}
+
+TEST(LargeCircuits, MultArrayProductsMatch) {
+  // Widths where a*b fits 64 bits; mult16 == c6288 is covered above.
+  expect_products_match(make_benchmark("mult8"), 8, 0xA8);
+  expect_products_match(make_benchmark("mult24"), 24, 0xA24);
+}
+
+TEST(LargeCircuits, WallaceProductsMatch) {
+  // An odd width exercises the ragged final compression layers.
+  expect_products_match(make_benchmark("wallace8"), 8, 0xB8);
+  expect_products_match(make_benchmark("wallace13"), 13, 0xB13);
+}
+
+TEST(LargeCircuits, WallaceAgreesWithArray) {
+  // Same function, independently structured implementations: random
+  // responses must match bit-for-bit.
+  const Netlist array = make_benchmark("mult10");
+  const Netlist wallace = make_benchmark("wallace10");
+  const PatternSet ps = random_patterns(20, 512, 0xAB);
+  EXPECT_TRUE(BitSimulator::responses_equal(BitSimulator(array).outputs(ps),
+                                            BitSimulator(wallace).outputs(ps)));
+}
+
+TEST(LargeCircuits, AluEccChainIsDeepAndDeterministic) {
+  const Netlist nl = make_benchmark("aluecc16x8");
+  EXPECT_EQ(nl.inputs().size(), 2u * 16 + 4);
+  EXPECT_EQ(nl.outputs().size(), 16u + 1);
+  expect_structural_invariants(nl);
+  EXPECT_EQ(write_bench_string(nl),
+            write_bench_string(make_benchmark("aluecc16x8")));
+}
+
+TEST(LargeCircuits, SpecGateCountsSurviveSweep) {
+  // The registry's approx_gates are measured post-sweep values; a generator
+  // regression that lets the dead-gate sweep eat structure (the original
+  // rand<N>k failure mode) shows up as a deficit here. rand100k is exact by
+  // construction: every gate is in some output cone.
+  for (const LargeCircuitSpec& spec : large_circuit_specs()) {
+    const Netlist nl = make_benchmark(spec.name);
+    const double lo = 0.85 * spec.approx_gates;
+    const double hi = 1.15 * spec.approx_gates;
+    EXPECT_GE(nl.gate_count(), lo) << spec.name;
+    EXPECT_LE(nl.gate_count(), hi) << spec.name;
+    if (spec.name == "rand100k") {
+      EXPECT_EQ(nl.gate_count(), 100000u);
+    }
+  }
+}
+
+TEST(LargeCircuits, MakeBenchmarkNameParsing) {
+  // Unknown or malformed names must fail loudly, not fall through to a
+  // generator with a half-parsed parameter.
+  EXPECT_THROW(make_benchmark("mult"), std::out_of_range);
+  EXPECT_THROW(make_benchmark("mult96x"), std::out_of_range);
+  EXPECT_THROW(make_benchmark("wallacex"), std::out_of_range);
+  EXPECT_THROW(make_benchmark("aluecc64"), std::out_of_range);
+  EXPECT_THROW(make_benchmark("rand100"), std::out_of_range);
+  EXPECT_THROW(make_benchmark("nonesuch"), std::out_of_range);
+  // In-family but out-of-range parameters throw from the generator itself.
+  EXPECT_THROW(make_benchmark("mult1"), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("wallace600"), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("aluecc64x0"), std::invalid_argument);
+  EXPECT_THROW(make_benchmark("rand501k"), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace tz

@@ -240,6 +240,62 @@ TEST(PatternSet, AppendAllCrossesWordBoundary) {
   EXPECT_EQ(a.words(0).back() & ~a.tail_mask(), 0u);
 }
 
+TEST(PatternSet, ManyAppendsMatchBulkConstruction) {
+  // Equivalence regression for the geometric-capacity append: building a set
+  // one pattern at a time (the ATPG top-up loop) must produce exactly the
+  // set built in one shot, across several capacity doublings, with clean
+  // padding after every growth step.
+  const PatternSet src = random_patterns(5, 1000, 9);
+  PatternSet acc(5, 0);
+  bool bits[5];
+  for (std::size_t p = 0; p < src.num_patterns(); ++p) {
+    for (std::size_t s = 0; s < 5; ++s) bits[s] = src.get(p, s);
+    acc.append(std::span<const bool>(bits, 5));
+  }
+  EXPECT_TRUE(acc == src);
+  for (std::size_t s = 0; s < acc.num_signals(); ++s) {
+    EXPECT_EQ(acc.words(s).back() & ~acc.tail_mask(), 0u) << "signal " << s;
+  }
+  // reserve() must change neither content nor equality.
+  PatternSet reserved(5, 0);
+  reserved.reserve(1000);
+  for (std::size_t p = 0; p < src.num_patterns(); ++p) {
+    for (std::size_t s = 0; s < 5; ++s) bits[s] = src.get(p, s);
+    reserved.append(std::span<const bool>(bits, 5));
+  }
+  EXPECT_TRUE(reserved == src);
+}
+
+TEST(PatternSet, EqualityIsSemantic) {
+  // operator== compares logical content only: capacity headroom and the
+  // padding lanes past the last pattern must not distinguish sets.
+  const PatternSet a = random_patterns(3, 130, 4);
+  PatternSet b(3, 0);
+  b.reserve(4096);  // very different capacity stride
+  bool bits[3];
+  for (std::size_t p = 0; p < a.num_patterns(); ++p) {
+    for (std::size_t s = 0; s < 3; ++s) bits[s] = a.get(p, s);
+    b.append(std::span<const bool>(bits, 3));
+  }
+  EXPECT_TRUE(a == b);
+  PatternSet c = a;
+  c.set(129, 2, !c.get(129, 2));
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == a.slice(0, 129));              // different pattern count
+  EXPECT_FALSE(a == random_patterns(4, 130, 4));   // different signal count
+}
+
+TEST(PatternSet, SliceAppendAllRoundTrip) {
+  // Splitting at an unaligned boundary and re-concatenating is the identity
+  // (slice's funnel shifts and append_all's splice are inverses).
+  const PatternSet src = random_patterns(4, 300, 77);
+  for (std::size_t cut : {1u, 63u, 64u, 65u, 200u, 299u}) {
+    PatternSet joined = src.slice(0, cut);
+    joined.append_all(src.slice(cut, src.num_patterns() - cut));
+    EXPECT_TRUE(joined == src) << "cut at " << cut;
+  }
+}
+
 TEST(SimulatedProbability, MatchesCounts) {
   Netlist nl;
   const NodeId a = nl.add_input("a");
