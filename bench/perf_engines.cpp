@@ -17,6 +17,7 @@
 #include "sat/equivalence.hpp"
 #include "sim/eval_plan.hpp"
 #include "sim/simulator.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -263,6 +264,27 @@ BENCHMARK_CAPTURE(BM_SalvageFlow, c880, "c880")
 // coverage leaves almost nothing salvageable — the oracle still has to judge
 // every candidate cone.
 BENCHMARK_CAPTURE(BM_SalvageFlow, c6288, "c6288")
+    ->Unit(benchmark::kMillisecond);
+
+// Same salvage with the tz::verify flow-boundary checks forced on: every
+// accepted tie re-proves the netlist invariants and the patched-plan
+// equivalence diff (one O(V+E) recompile per commit). Compare against
+// BM_SalvageFlow/c6288 in the same run for the TZ_CHECK=1 overhead —
+// documented in README (a few percent: commits are rare next to judging).
+void BM_SalvageFlowChecked(benchmark::State& state, const std::string& name) {
+  const FlowFixture& f = flow_fixture(name);
+  tz::set_check_enabled(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tz::salvage_power_area(f.nl, f.suite, f.pm, f.sopt));
+  }
+  tz::set_check_enabled(-1);
+}
+BENCHMARK_CAPTURE(BM_SalvageFlowChecked, c6288, "c6288")
+    ->Unit(benchmark::kMillisecond);
+// c880 actually accepts removals under its Table I threshold, so this is the
+// commit-heavy case where the per-commit checks genuinely run.
+BENCHMARK_CAPTURE(BM_SalvageFlowChecked, c880, "c880")
     ->Unit(benchmark::kMillisecond);
 
 void BM_InsertTrojan(benchmark::State& state, const std::string& name,

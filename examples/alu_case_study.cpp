@@ -9,8 +9,11 @@
 #include "gen/iscas.hpp"
 #include "prob/signal_prob.hpp"
 #include "tech/power_model.hpp"
+#include "verify/verify.hpp"
 
-int main() {
+namespace {
+
+int run() {
   using namespace tz;
   // The victim: 8-bit ALU (c880 class).
   const Netlist alu = make_benchmark("c880");
@@ -67,4 +70,18 @@ int main() {
   std::cout << "payload fired in " << 100.0 * mc
             << "% of 2048-cycle random sessions (rare by design)\n";
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const tz::VerifyError& e) {
+    // TZ_CHECK boundary check tripped: name the corrupted invariant instead
+    // of dying with an unexplained exception message.
+    std::cerr << "invariant check failed at " << e.phase() << ":\n"
+              << e.report().format();
+    return 1;
+  }
 }

@@ -6,8 +6,11 @@
 #include "atpg/fault_sim_engine.hpp"
 #include "atpg/test_set.hpp"
 #include "gen/iscas.hpp"
+#include "verify/verify.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace tz;
   const std::string name = argc > 1 ? argv[1] : "c880";
   const Netlist nl = make_benchmark(name);
@@ -63,4 +66,18 @@ int main(int argc, char** argv) {
   std::cout << "functional self-test passes: "
             << (functional_test(nl, ts) ? "yes" : "NO") << "\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const tz::VerifyError& e) {
+    // TZ_CHECK boundary check tripped: name the corrupted invariant instead
+    // of dying with an unexplained exception message.
+    std::cerr << "invariant check failed at " << e.phase() << ":\n"
+              << e.report().format();
+    return 1;
+  }
 }

@@ -8,6 +8,7 @@
 #include "detect/gate_characterization.hpp"
 #include "detect/power_trace.hpp"
 #include "detect/statistical_learning.hpp"
+#include "verify/verify.hpp"
 
 namespace {
 
@@ -20,7 +21,9 @@ void report(const char* label, const tz::DetectionResult& r) {
 
 }  // namespace
 
-int main() {
+namespace {
+
+int run() {
   using namespace tz;
   const PowerModel pm(CellLibrary::tsmc65_like());
   const Netlist golden = make_benchmark("c499");
@@ -55,4 +58,18 @@ int main() {
   std::cout << "\nSame Trojan class; the difference is Algorithm 1 paying "
                "for it out of the circuit's own budget.\n";
   return 0;
+}
+
+}  // namespace
+
+int main() {
+  try {
+    return run();
+  } catch (const tz::VerifyError& e) {
+    // TZ_CHECK boundary check tripped: name the corrupted invariant instead
+    // of dying with an unexplained exception message.
+    std::cerr << "invariant check failed at " << e.phase() << ":\n"
+              << e.report().format();
+    return 1;
+  }
 }

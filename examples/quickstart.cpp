@@ -6,8 +6,11 @@
 
 #include "core/report.hpp"
 #include "netlist/bench_io.hpp"
+#include "verify/verify.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const std::string name = argc > 1 ? argv[1] : "c432";
   std::cout << "TrojanZero quickstart on " << name << "\n\n";
 
@@ -44,4 +47,18 @@ int main(int argc, char** argv) {
     std::cout << "insertion failed for this configuration\n";
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const tz::VerifyError& e) {
+    // TZ_CHECK boundary check tripped: name the corrupted invariant instead
+    // of dying with an unexplained exception message.
+    std::cerr << "invariant check failed at " << e.phase() << ":\n"
+              << e.report().format();
+    return 1;
+  }
 }

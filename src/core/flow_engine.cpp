@@ -12,6 +12,7 @@
 #include "sim/gate_eval.hpp"
 #include "sim/simulator.hpp"
 #include "util/thread_pool.hpp"
+#include "verify/verify.hpp"
 
 namespace tz {
 
@@ -234,6 +235,7 @@ bool SuiteOracle::tie_visible(NodeId target, bool value) {
 }
 
 void SuiteOracle::commit_tie(NodeId target, bool value) {
+  MutexLock lk(structure_mu_);
   grow();
   // The structural tie_to_constant follows this call; remember the target so
   // resync_structure() can patch the plan (reader fanins, swept cone).
@@ -255,6 +257,7 @@ void SuiteOracle::commit_tie(NodeId target, bool value) {
 
 void SuiteOracle::resync_structure() {
   if (sequential_) return;
+  MutexLock lk(structure_mu_);
   grow();
   if (plan_) {
     // Incremental plan patch for the ties committed since the last resync:
@@ -287,6 +290,9 @@ void SuiteOracle::resync_structure() {
       }
     }
     pending_ties_.clear();
+    // A tie that retargeted a primary output leaves the compiled output
+    // list pointing at the old driver's slot.
+    plan_->refresh_outputs(*nl_);
   }
   recorded_po_ = nl_->outputs();
 }
@@ -381,6 +387,12 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
   }
 
   SuiteOracle oracle(work, *suite_);
+  // TZ_CHECK boundary checks: NetlistChecker after every commit/rollback,
+  // PlanChecker (with the patched-vs-recompiled equivalence diff) whenever
+  // the oracle holds a compiled plan. Captured once — the gate must not
+  // flip mid-flow.
+  const bool chk = check_enabled();
+  const NetlistCheckOptions nopt{.allow_unread_gates = true};
 
   // Fold one accepted (invisible) candidate into the cache and the netlist.
   const auto accept = [&](const Candidate& c) {
@@ -388,6 +400,7 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
     oracle.commit_tie(c.node, c.tie_value);
     const TieResult tie = tie_to_constant(work, c.node, c.tie_value);
     oracle.resync_structure();
+    if (chk) verify_or_throw(work, oracle.plan(), "salvage commit", nopt);
     result.accepted.push_back(
         {name, c.tie_value, c.probability, tie.gates_removed});
     result.expendable_gates += tie.gates_removed;
@@ -402,11 +415,13 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
       TieUndo undo;
       const TieResult tie = tie_to_constant(work, c.node, c.tie_value, &undo);
       if (functional_test(work, *suite_)) {
+        if (chk) verify_or_throw(work, nullptr, "salvage commit", nopt);
         result.accepted.push_back(
             {name, c.tie_value, c.probability, tie.gates_removed});
         result.expendable_gates += tie.gates_removed;
       } else {
         undo_tie(work, undo);
+        if (chk) verify_or_throw(work, nullptr, "salvage rollback", nopt);
         ++result.rejected;
       }
     }
@@ -615,6 +630,12 @@ InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
   const std::vector<NodeId> rare = rare_net_list(work, sp, opt.rare_p1);
   SuiteOracle oracle(work, *suite_);
   PowerTracker tracker(work, *pm_);
+  // TZ_CHECK boundary checks (see salvage). Rollbacks restore the judged
+  // baseline, so the patched plan must still match it; the success boundary
+  // checks the netlist only — the plan is legitimately stale for the
+  // freshly materialised HT/dummy nodes (no oracle call follows them).
+  const bool chk = check_enabled();
+  const NetlistCheckOptions nopt{.allow_unread_gates = true};
 
   // Rare-net pool per victim: the once-per-netlist rare list filtered by the
   // victim's transitive-fanout mask (loop freedom). Computed once — the pool
@@ -692,11 +713,15 @@ InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
       // candidates, unlike the old fresh-copy-per-trial): sweep the
       // half-built structure back out.
       unbuild_trojan(work, victim, readers, size_before);
+      if (chk) {
+        verify_or_throw(work, oracle.plan(), "insertion rollback", nopt);
+      }
       return false;  // structural rejection (loop, arity, ...)
     }
     if (oracle.sequential() && !functional_test(work, *suite_)) {
       ++result.fail_test;
       unbuild_trojan(work, victim, readers, size_before);
+      if (chk) verify_or_throw(work, nullptr, "insertion rollback", nopt);
       return false;
     }
 
@@ -716,11 +741,15 @@ InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
       ++result.fail_caps;
       tracker.rollback();
       unbuild_trojan(work, victim, readers, size_before);
+      if (chk) {
+        verify_or_throw(work, oracle.plan(), "insertion rollback", nopt);
+      }
       return false;  // this HT at this location breaks a cap -> next location
     }
     tracker.commit();
     const std::size_t dummies =
         balance_with_dummies(work, tracker, result.threshold, opt);
+    if (chk) verify_or_throw(work, nullptr, "insertion commit", nopt);
 
     result.success = true;
     result.ht = ht;

@@ -53,6 +53,7 @@
 #include "sim/rank_worklist.hpp"
 #include "tech/power_model.hpp"
 #include "tech/power_tracker.hpp"
+#include "util/thread_safety.hpp"
 
 namespace tz {
 
@@ -137,6 +138,11 @@ class SuiteOracle {
   /// before a parallel screening phase that follows any structural edit.
   void resync_structure();
 
+  /// The compiled plan the oracle judges through, or nullptr on the legacy
+  /// path (or before the first grow()). FlowEngine hands it to PlanChecker
+  /// at every commit boundary under TZ_CHECK.
+  const EvalPlan* plan() const { return plan_.get(); }
+
  private:
   friend class ConeScratch;
 
@@ -189,7 +195,14 @@ class SuiteOracle {
   std::vector<std::uint64_t> rows_;    ///< row-index-major fused cache
   std::vector<std::uint64_t> golden_;  ///< output-major fused expected rows
   std::vector<NodeId> recorded_po_;    ///< outputs() as of the cached state
-  std::vector<NodeId> pending_ties_;   ///< committed ties awaiting plan patch
+  /// Serialises the exclusive structure phase (commit_tie/resync_structure)
+  /// against itself. The const judging API deliberately takes no lock — its
+  /// safety contract is phase separation (no concurrent structural edits),
+  /// which the annotation documents and Clang's analysis enforces for the
+  /// guarded member.
+  Mutex structure_mu_;
+  /// Committed ties awaiting plan patch.
+  std::vector<NodeId> pending_ties_ TZ_GUARDED_BY(structure_mu_);
   std::vector<std::uint32_t> rank_;    ///< identity over slots on the plan path
   ConeScratch self_{*this};  ///< scratch for the single-threaded API
 };

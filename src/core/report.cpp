@@ -1,18 +1,38 @@
 #include "core/report.hpp"
 
 #include <iomanip>
+#include <iostream>
 #include <ostream>
 
 #include "core/flow_engine.hpp"
 #include "core/trigger_prob.hpp"
+#include "verify/verify.hpp"
 
 namespace tz {
+
+namespace {
+
+/// Flow-boundary diagnostics: name the corrupted invariant on stderr before
+/// the VerifyError unwinds, so a broken structure surfaces at the mutation
+/// that caused it instead of as a bit-mismatch deep inside an engine.
+[[noreturn]] void report_and_rethrow(const VerifyError& e) {
+  std::cerr << "trojanzero: invariant check failed at " << e.phase() << ":\n"
+            << e.report().format();
+  throw;
+}
+
+}  // namespace
 
 FlowResult run_trojanzero_flow(const std::string& benchmark_name,
                                FlowOptions options) {
   FlowResult r;
   r.benchmark = benchmark_name;
   r.original = make_benchmark(benchmark_name);
+  if (check_enabled()) {
+    // Gate the flow on a clean input: a generator/parser defect is reported
+    // here, not attributed to the first salvage commit downstream.
+    verify_or_throw(r.original, nullptr, "flow input");
+  }
 
   const PowerModel pm(CellLibrary::tsmc65_like());
 
@@ -27,7 +47,11 @@ FlowResult run_trojanzero_flow(const std::string& benchmark_name,
   SalvageOptions sopt;
   sopt.pth = options.pth;
   sopt.order = options.order;
-  r.salvage = engine.salvage(sopt);
+  try {
+    r.salvage = engine.salvage(sopt);
+  } catch (const VerifyError& e) {
+    report_and_rethrow(e);
+  }
   r.p_np = r.salvage.power_after;
 
   // Phase (c): Algorithm 2. The library starts with the Table I counter for
@@ -40,7 +64,11 @@ FlowResult run_trojanzero_flow(const std::string& benchmark_name,
     }
     iopt.library.push_back(counter_trojan(0));  // comparator trigger
   }
-  r.insertion = engine.insert(r.salvage, iopt);
+  try {
+    r.insertion = engine.insert(r.salvage, iopt);
+  } catch (const VerifyError& e) {
+    report_and_rethrow(e);
+  }
   r.p_npp = r.insertion.power;
 
   // Pft over the defender's total pattern count — only when an HT was

@@ -157,6 +157,11 @@ class Netlist {
   NodeId new_node(GateType type, const std::string& name);
   void link_fanin(NodeId id, std::span<const NodeId> fanin);
 
+  /// tz::verify needs the raw containers (by_name_, role lists) to audit the
+  /// bookkeeping the public API maintains; the test peer corrupts them.
+  friend class NetlistChecker;
+  friend struct NetlistTestPeer;
+
   std::string name_;
   std::vector<Node> nodes_;
   std::vector<NodeId> inputs_;

@@ -240,6 +240,12 @@ SlotId EvalPlan::append_source(NodeId id) {
 
 void EvalPlan::kill(SlotId s) { ops_[s] = EvalOp::Dead; }
 
+void EvalPlan::refresh_outputs(const Netlist& nl) {
+  output_slots_.clear();
+  output_slots_.reserve(nl.outputs().size());
+  for (NodeId id : nl.outputs()) output_slots_.push_back(slot_of(id));
+}
+
 void EvalPlan::refresh_fanins(SlotId s, const Netlist& nl) {
   const std::vector<NodeId>& fanin = nl.node(node_of_[s]).fanin;
   const std::uint32_t off = fanin_offset_[s];

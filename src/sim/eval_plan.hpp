@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/debug.hpp"
 
 namespace tz {
 
@@ -79,16 +80,24 @@ class EvalPlan {
   SlotId slot_of(NodeId id) const {
     return id < slot_of_.size() ? slot_of_[id] : kNoSlot;
   }
-  NodeId node_of(SlotId s) const { return node_of_[s]; }
-  EvalOp op(SlotId s) const { return ops_[s]; }
+  NodeId node_of(SlotId s) const {
+    TZ_DBG_ASSERT(s < node_of_.size(), "EvalPlan::node_of slot index");
+    return node_of_[s];
+  }
+  EvalOp op(SlotId s) const {
+    TZ_DBG_ASSERT(s < ops_.size(), "EvalPlan::op slot index");
+    return ops_[s];
+  }
 
   std::span<const SlotId> fanins(SlotId s) const {
+    TZ_DBG_ASSERT(s < num_slots(), "EvalPlan::fanins slot index");
     return {fanin_slots_.data() + fanin_offset_[s],
             fanin_offset_[s + 1] - fanin_offset_[s]};
   }
   /// Combinational readers only: Input/DFF readers are compiled out, exactly
   /// matching the engines' scheduling skip.
   std::span<const SlotId> fanout(SlotId s) const {
+    TZ_DBG_ASSERT(s < num_slots(), "EvalPlan::fanout slot index");
     return {fanout_slots_.data() + fanout_offset_[s],
             fanout_offset_[s + 1] - fanout_offset_[s]};
   }
@@ -152,6 +161,11 @@ class EvalPlan {
   /// place). Every fanin must already have a slot.
   void refresh_fanins(SlotId s, const Netlist& nl);
 
+  /// Rebuild output_slots() from the netlist's current outputs(). A tie that
+  /// retargets a primary output leaves the compiled list pointing at the old
+  /// driver's slot; resync_structure calls this after patching.
+  void refresh_outputs(const Netlist& nl);
+
  private:
   void compile(const Netlist& nl, const std::vector<NodeId>& topo);
   void evaluate_block(std::uint64_t* values, std::size_t words,
@@ -166,6 +180,11 @@ class EvalPlan {
   std::vector<std::uint32_t> fanout_offset_;  ///< num_slots + 1 entries
   std::vector<SlotId> fanout_slots_;
   std::vector<SlotId> input_slots_, dff_slots_, output_slots_;
+
+  /// tz::verify audits the CSR arrays and slot maps directly; the test peer
+  /// corrupts them to prove each check fires.
+  friend class PlanChecker;
+  friend struct PlanTestPeer;
 };
 
 /// Evaluate one plan slot over a row of `words` packed words — the

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "util/debug.hpp"
+
 namespace tz {
 
 PatternSet::PatternSet(std::size_t num_signals, std::size_t num_patterns)
@@ -31,10 +33,12 @@ bool PatternSet::get(std::size_t pattern, std::size_t signal) const {
 }
 
 std::span<const std::uint64_t> PatternSet::words(std::size_t signal) const {
+  TZ_DBG_ASSERT(signal < num_signals_, "PatternSet::words signal index");
   return {bits_.data() + signal * capacity_words_, words_per_signal_};
 }
 
 std::span<std::uint64_t> PatternSet::words(std::size_t signal) {
+  TZ_DBG_ASSERT(signal < num_signals_, "PatternSet::words signal index");
   return {bits_.data() + signal * capacity_words_, words_per_signal_};
 }
 

@@ -24,6 +24,7 @@
 #include "netlist/netlist.hpp"
 #include "sim/eval_plan.hpp"
 #include "sim/patterns.hpp"
+#include "util/debug.hpp"
 
 namespace tz {
 
@@ -108,6 +109,7 @@ class NodeValues {
   std::size_t num_words() const { return num_words_; }
   std::size_t num_rows() const { return num_rows_; }
   bool bit(NodeId id, std::size_t pattern) const {
+    TZ_DBG_ASSERT(pattern / 64 < num_words_, "NodeValues::bit pattern index");
     return (v_[word_offset(row_index(id), pattern / 64)] >> (pattern % 64)) &
            1;
   }
@@ -124,6 +126,7 @@ class NodeValues {
   /// Layout-agnostic readers loop `for (w = 0; w < num_words();
   /// w += segment(id, w).size())`.
   std::span<const std::uint64_t> segment(NodeId id, std::size_t w) const {
+    TZ_DBG_ASSERT(w < num_words_, "NodeValues::segment word index");
     return {v_.data() + word_offset(row_index(id), w), segment_len(w)};
   }
 
@@ -131,6 +134,7 @@ class NodeValues {
   /// node-major layout) into `dst[0 .. num_words())` — the engines that
   /// think in slots skip the NodeId translation.
   void copy_slot_row(std::size_t s, std::uint64_t* dst) const {
+    TZ_DBG_ASSERT(s < num_rows_, "NodeValues::copy_slot_row row index");
     for (std::size_t w = 0; w < num_words_;) {
       const std::size_t len = segment_len(w);
       const std::uint64_t* src = v_.data() + word_offset(s, w);
@@ -151,7 +155,11 @@ class NodeValues {
 
  private:
   std::size_t row_index(NodeId id) const {
-    return plan_ ? plan_->slot_of(id) : id;
+    const std::size_t r = plan_ ? plan_->slot_of(id) : id;
+    // Catches reads of a dead node's row on the plan path (slot_of returns
+    // kNoSlot) as well as plain out-of-range ids on the legacy layout.
+    TZ_DBG_ASSERT(r < num_rows_, "NodeValues: node has no row");
+    return r;
   }
   std::size_t contiguous_row_offset(std::size_t r) const {
     if (stripe_words_ != 0) {

@@ -1,0 +1,31 @@
+// Debug-only bounds assertions for the hot accessors.
+//
+// TZ_DBG_ASSERT guards the index arithmetic that the hot paths otherwise
+// trust callers to get right (NodeValues row/segment/bit, PatternSet
+// indexing, EvalPlan CSR iteration). In Debug and sanitizer builds a bad
+// index aborts at the accessor with the failed expression; in Release
+// (NDEBUG) the macro compiles out entirely, so the checked-in bench rows are
+// unaffected (spot-checked same-run A/B — see README).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tz::detail {
+
+[[noreturn]] inline void dbg_assert_fail(const char* expr, const char* msg,
+                                         const char* file, int line) {
+  std::fprintf(stderr, "TZ_DBG_ASSERT failed: %s (%s) at %s:%d\n", expr, msg,
+               file, line);
+  std::abort();
+}
+
+}  // namespace tz::detail
+
+#if defined(NDEBUG)
+#define TZ_DBG_ASSERT(cond, msg) ((void)0)
+#else
+#define TZ_DBG_ASSERT(cond, msg)                                       \
+  ((cond) ? (void)0                                                    \
+          : ::tz::detail::dbg_assert_fail(#cond, msg, __FILE__, __LINE__))
+#endif

@@ -12,6 +12,12 @@
 //    the workers; a pool of size 1 (or n == 1) degrades to an inline loop
 //    with no synchronisation at all.
 //
+// The locking discipline is annotated with util/thread_safety.hpp
+// capabilities (job_ and stop_ are TZ_GUARDED_BY(m_)) and statically checked
+// by Clang's -Wthread-safety in CI. Condition waits are written as explicit
+// while-loops over MutexLock::wait — a predicate lambda's body is invisible
+// to the analysis.
+//
 // Thread-count resolution: an explicit request wins; otherwise the TZ_THREADS
 // environment variable; otherwise std::thread::hardware_concurrency().
 #pragma once
@@ -22,9 +28,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace tz {
 
@@ -58,7 +65,7 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -84,14 +91,14 @@ class ThreadPool {
     job->fn = &fn;
     job->n = n;
     {
-      std::lock_guard<std::mutex> lk(m_);
+      MutexLock lk(m_);
       job_ = job;
     }
     cv_.notify_all();
     run_job(*job, 0);
     {
-      std::unique_lock<std::mutex> lk(m_);
-      cv_.wait(lk, [&] { return job->done.load() == job->n; });
+      MutexLock lk(m_);
+      while (job->done.load() != job->n) lk.wait(cv_);
       if (job_ == job) job_.reset();
     }
     if (job->error) std::rethrow_exception(job->error);
@@ -113,12 +120,12 @@ class ThreadPool {
       try {
         (*job.fn)(i, worker);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         if (!job.error) job.error = std::current_exception();
       }
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
         // Last index: wake the caller (and any parked workers re-checking).
-        std::lock_guard<std::mutex> lk(m_);
+        MutexLock lk(m_);
         cv_.notify_all();
       }
     }
@@ -129,8 +136,8 @@ class ThreadPool {
     for (;;) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> lk(m_);
-        cv_.wait(lk, [&] { return stop_ || (job_ && job_ != last); });
+        MutexLock lk(m_);
+        while (!stop_ && (job_ == nullptr || job_ == last)) lk.wait(cv_);
         if (stop_) return;
         job = job_;
       }
@@ -140,10 +147,11 @@ class ThreadPool {
   }
 
   std::vector<std::thread> workers_;
-  std::mutex m_;
+  Mutex m_;
   std::condition_variable cv_;
-  std::shared_ptr<Job> job_;
-  bool stop_ = false;
+  /// Current (or most recent) job handed to the workers.
+  std::shared_ptr<Job> job_ TZ_GUARDED_BY(m_);
+  bool stop_ TZ_GUARDED_BY(m_) = false;
 };
 
 }  // namespace tz
