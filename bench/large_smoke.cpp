@@ -1,12 +1,18 @@
 // Large-circuit CI smoke: generate a 100k-gate netlist, simulate a pattern
 // sample through every evaluator mode and value-matrix layout, and fail on
-// any cross-mode response difference. Bounded to a few seconds — this is a
-// correctness gate for the stripe-major + SIMD path at the scale the
+// any cross-mode response difference; then diff the event-driven and
+// word-packed fault-simulation backends' detection matrices on a fault
+// sample. Bounded to a few seconds — this is a correctness gate for the
+// stripe-major + SIMD path and the packed fault sweep at the scale the
 // microbenchmarks measure, not a performance run.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "atpg/fault_sim_backend.hpp"
 #include "gen/iscas.hpp"
 #include "sim/eval_plan.hpp"
 #include "sim/simulator.hpp"
@@ -77,5 +83,34 @@ int main() {
   set_eval_plan_enabled(-1);
   std::printf("OK: all modes and layouts bit-identical on %zu patterns\n",
               ps.num_patterns());
+
+  // Packed-vs-event fault-simulation parity at the same scale: detection
+  // matrices over a fault sample must be word-identical between the two
+  // backends. CI runs this binary under TZ_SIMD=1 and TZ_SIMD=0, so the
+  // parity also covers both kernel families the packed sweep dispatches to.
+  const auto universe = fault_universe(nl);
+  std::vector<Fault> faults;
+  const std::size_t stride = std::max<std::size_t>(1, universe.size() / 256);
+  for (std::size_t i = 0; i < universe.size(); i += stride) {
+    faults.push_back(universe[i]);
+  }
+  const PatternSet fps = random_patterns(nl.inputs().size(), 128, 23);
+  std::vector<std::vector<std::uint64_t>> matrices[2];
+  const FaultSimMode modes[] = {FaultSimMode::Event, FaultSimMode::Packed};
+  for (int m = 0; m < 2; ++m) {
+    t0 = std::chrono::steady_clock::now();
+    const auto backend = make_fault_sim_backend(nl, modes[m]);
+    backend->set_patterns(fps);
+    matrices[m] = backend->detection_matrix(faults);
+    std::printf("%-6s fault-sim:      %5lld ms (%zu faults)\n",
+                std::string(backend->name()).c_str(), ms_since(t0),
+                faults.size());
+  }
+  if (matrices[0] != matrices[1]) {
+    std::fprintf(stderr,
+                 "FAIL: packed detection matrices diverge from event\n");
+    return 1;
+  }
+  std::printf("OK: packed and event detection matrices bit-identical\n");
   return 0;
 }

@@ -3,11 +3,14 @@
 // and the two TrojanZero algorithms.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <random>
 #include <string>
+#include <vector>
 
+#include "atpg/fault_sim_backend.hpp"
 #include "atpg/fault_sim_engine.hpp"
 #include "atpg/test_set.hpp"
 #include "core/flow_engine.hpp"
@@ -177,6 +180,44 @@ void BM_FaultSimEngineReuse(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * faults.size());
 }
 BENCHMARK(BM_FaultSimEngineReuse);
+
+// Word-packed fault simulation at 100k-gate scale: a same-run A/B between
+// the event-driven and packed backends on the mult96 array multiplier
+// (108,960 gates), whose fault cones are dense — the regime where walking
+// each fault's fanout cone event-by-event loses to one SoA sweep carrying 64
+// fault machines per word. The sample is the 2,048 topologically earliest
+// faults — input, partial-product and early carry-chain sites whose fanout
+// cones span most of the array, the regime the Auto selector routes to the
+// packed engine — over 1,024 grading patterns in flag mode (the random
+// fault-grading shape): the event walk pays the whole cone per fault, while
+// the packed sweep pays one slot sweep per 64 faults and retires a batch as
+// soon as every lane has detected, typically within the first 64-pattern
+// block. The selector row shows Auto's measured cone/slot cost model
+// picking the packed engine here; see BENCH_perf_engines.json for the
+// checked-in same-run ratio.
+void BM_FaultSimPacked100k(benchmark::State& state, tz::FaultSimMode mode) {
+  const tz::Netlist& nl = circuit("mult96");
+  static const std::vector<tz::Fault> faults = [&nl] {
+    auto universe = tz::fault_universe(nl);
+    universe.resize(std::min<std::size_t>(universe.size(), 2048));
+    return universe;
+  }();
+  const tz::PatternSet ps =
+      tz::random_patterns(nl.inputs().size(), 1024, 3);
+  const auto backend = tz::make_fault_sim_backend(nl, mode);
+  backend->set_patterns(ps);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->simulate(faults));
+  }
+  state.SetItemsProcessed(state.iterations() * faults.size());
+  state.SetLabel(std::string(backend->name()));
+}
+BENCHMARK_CAPTURE(BM_FaultSimPacked100k, event, tz::FaultSimMode::Event)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FaultSimPacked100k, packed, tz::FaultSimMode::Packed)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_FaultSimPacked100k, selector, tz::FaultSimMode::Auto)
+    ->Unit(benchmark::kMillisecond);
 
 // Incremental drop-sim: stream single patterns through one engine, dropping
 // detected faults — the ATPG phase-2 access pattern.

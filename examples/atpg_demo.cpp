@@ -3,7 +3,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "atpg/fault_sim_engine.hpp"
+#include "atpg/fault_sim_backend.hpp"
 #include "atpg/test_set.hpp"
 #include "gen/iscas.hpp"
 #include "verify/verify.hpp"
@@ -22,12 +22,15 @@ int run(int argc, char** argv) {
   std::cout << "fault universe: " << universe.size() << " -> "
             << faults.size() << " after collapsing\n";
 
-  // Random grading through a reusable engine: the good machine is simulated
-  // once and shared by every fault, and the same engine answers the
-  // per-fault queries below without re-running it.
+  // Random grading through a reusable backend (TZ_FAULT_MODE picks between
+  // the event-driven and word-packed engines; Auto measures the workload):
+  // the good machine is simulated once and shared by every fault, and the
+  // same backend answers the per-fault queries below without re-running it.
   const PatternSet rnd = random_patterns(nl.inputs().size(), 64, 1);
-  FaultSimEngine engine(nl, rnd);
-  const std::vector<bool> rnd_det = engine.simulate(faults);
+  const auto engine = make_fault_sim_backend(nl);
+  engine->set_patterns(rnd);
+  std::cout << "fault-sim backend: " << engine->name() << "\n";
+  const std::vector<bool> rnd_det = engine->simulate(faults);
   std::size_t rnd_covered = 0;
   for (const bool d : rnd_det) rnd_covered += d ? 1 : 0;
   std::cout << "64 random patterns cover "

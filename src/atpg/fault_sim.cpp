@@ -2,20 +2,22 @@
 
 #include <cstdint>
 
-#include "atpg/fault_sim_engine.hpp"
+#include "atpg/fault_sim_backend.hpp"
 
 namespace tz {
 
 bool detects(const Netlist& nl, const Fault& f, const PatternSet& patterns) {
-  FaultSimEngine engine(nl, patterns);
-  return engine.detects(f);
+  const auto backend = make_fault_sim_backend(nl);
+  backend->set_patterns(patterns);
+  return backend->detects(f);
 }
 
 std::vector<bool> fault_simulate(const Netlist& nl,
                                  const std::vector<Fault>& faults,
                                  const PatternSet& patterns) {
-  FaultSimEngine engine(nl, patterns);
-  return engine.simulate(faults);
+  const auto backend = make_fault_sim_backend(nl);
+  backend->set_patterns(patterns);
+  return backend->simulate(faults);
 }
 
 CoverageReport grade_patterns(const Netlist& nl,
@@ -33,12 +35,9 @@ CoverageReport grade_patterns(const Netlist& nl,
 std::vector<std::vector<std::uint64_t>> detection_matrix(
     const Netlist& nl, const std::vector<Fault>& faults,
     const PatternSet& patterns) {
-  FaultSimEngine engine(nl, patterns);
-  std::vector<std::vector<std::uint64_t>> matrix(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    matrix[i] = engine.detection_bits(faults[i]);
-  }
-  return matrix;
+  const auto backend = make_fault_sim_backend(nl);
+  backend->set_patterns(patterns);
+  return backend->detection_matrix(faults);
 }
 
 std::vector<std::size_t> compact_patterns(

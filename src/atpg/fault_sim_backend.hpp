@@ -1,0 +1,180 @@
+// Pluggable fault-simulation backend layer.
+//
+// Fault simulation has two complementary engine shapes: the event-driven
+// FaultSimEngine (per fault, pattern-parallel, cost tracks the fanout cone)
+// and the word-packed PackedFaultSimEngine (64 faults per word, one SoA
+// sweep over the EvalPlan per 64-pattern block). Event-driven wins when
+// cones are sparse relative to the netlist; packed wins when cones are dense
+// enough that walking them per fault costs more than sweeping every slot
+// once for 64 faults at a time.
+//
+// This header owns the pieces both engines share:
+//  - FaultSimMode / TZ_FAULT_MODE: the process-wide backend selector,
+//    following the TZ_EVAL_PLAN override idiom (env read once, test hook
+//    overrides atomically);
+//  - FaultSimContext: the static analyses (topological ranks, fanout-cone ->
+//    PO reachability) and the good-machine simulation, computed once per
+//    netlist and cached across backend calls — constructing engines per call
+//    used to recompute these every time;
+//  - FaultSimBackend: the abstract contract (detects / simulate / drop_sim /
+//    detection_matrix) every consumer is wired through;
+//  - make_fault_sim_backend: the factory, returning the concrete engine for
+//    Event/Packed or a measured auto-selector for Auto.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "atpg/fault.hpp"
+#include "sim/eval_plan.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace tz {
+
+enum class FaultSimMode : std::uint8_t { Auto = 0, Event = 1, Packed = 2 };
+
+std::string_view to_string(FaultSimMode mode);
+
+/// Process-wide backend mode. Reads TZ_FAULT_MODE once ("event"/"1",
+/// "packed"/"2", anything else or unset = Auto) unless overridden from code.
+FaultSimMode fault_sim_mode();
+
+/// Test/bench hook: -1 restores the TZ_FAULT_MODE env behavior, 0/1/2 force
+/// Auto/Event/Packed for the whole process.
+void set_fault_sim_mode(int mode);
+
+/// Static analyses + good machine shared by every fault-simulation backend.
+///
+/// Constructed once per netlist and reused across calls and across backends
+/// (the Auto selector runs both engines off one context): topological ranks,
+/// the fanout-cone -> PO reachability bitset and the compiled plan survive
+/// between pattern-set swaps, and `resync_structure()` is the single
+/// invalidation point after structural netlist edits.
+class FaultSimContext {
+ public:
+  explicit FaultSimContext(const Netlist& nl);
+
+  /// Re-run the good machine on a new pattern set; static analyses are kept.
+  void set_patterns(const PatternSet& patterns);
+
+  /// Recompute every static analysis (plan, ranks, PO reachability, cone
+  /// statistics) after the netlist changed structurally. Also drops the good
+  /// machine — call set_patterns() again before simulating.
+  void resync_structure();
+
+  const Netlist& netlist() const { return *nl_; }
+  /// The shared compiled plan (nullptr on the TZ_EVAL_PLAN=0 legacy path).
+  const EvalPlan* plan() const { return plan_; }
+  /// A compiled plan for the packed engine, which has no legacy path: the
+  /// shared plan when compiled, else a lazily compiled private plan.
+  const EvalPlan& packed_plan();
+
+  /// Index space of the cone walk: plan slots when compiled, NodeIds else.
+  std::size_t index_count() const {
+    return plan_ ? plan_->num_slots() : nl_->raw_size();
+  }
+  const std::vector<std::uint32_t>& rank() const { return rank_; }
+  bool po_reachable_ix(std::uint32_t ix) const { return po_reach_[ix] != 0; }
+  /// Static reachability: false means no combinational path from `id` to any
+  /// primary output exists, so no fault at `id` is ever detectable.
+  bool po_reachable(NodeId id) const {
+    if (plan_) {
+      const SlotId s = plan_->slot_of(id);
+      return s != kNoSlot && po_reach_[s] != 0;
+    }
+    return po_reach_[id] != 0;
+  }
+
+  bool has_patterns() const { return has_patterns_; }
+  const NodeValues& good() const { return good_; }
+  const std::uint64_t* good_row(std::uint32_t ix) const {
+    return plan_ ? good_.data() + std::size_t{ix} * words_ : good_.row(ix);
+  }
+  std::size_t words() const { return words_; }
+  std::uint64_t tail_mask() const { return tail_; }
+  std::size_t num_patterns() const { return num_patterns_; }
+
+  /// Mean fanout-cone size over sampled PO-reachable sites (lazily computed,
+  /// cached until resync_structure). Drives the Auto backend selector.
+  double mean_cone_size();
+  /// Slots the packed sweep actually evaluates (non-source, non-dead).
+  std::size_t eval_slot_count();
+
+  /// Bumped by resync_structure / set_patterns; backends compare these to
+  /// lazily refresh per-engine scratch sized off the context.
+  std::uint64_t structure_epoch() const { return structure_epoch_; }
+  std::uint64_t pattern_epoch() const { return pattern_epoch_; }
+
+ private:
+  void rebuild_static();
+
+  const Netlist* nl_;
+  BitSimulator sim_;
+  const EvalPlan* plan_;             ///< sim_'s plan (nullptr = legacy path)
+  std::unique_ptr<EvalPlan> private_plan_;  ///< packed plan on legacy path
+  std::vector<std::uint32_t> rank_;  ///< worklist order (identity over slots)
+  std::vector<char> po_reach_;       ///< static cone -> PO reachability
+  NodeValues good_;
+  std::size_t words_ = 0;
+  std::uint64_t tail_ = 0;
+  std::size_t num_patterns_ = 0;
+  bool has_patterns_ = false;
+  double mean_cone_ = -1.0;          ///< < 0: not sampled yet
+  std::size_t eval_slots_ = 0;       ///< 0: not counted yet
+  std::uint64_t structure_epoch_ = 1;
+  std::uint64_t pattern_epoch_ = 0;
+};
+
+/// The backend contract every fault-simulation consumer is wired through.
+/// One backend is bound to one FaultSimContext; patterns are swapped via
+/// set_patterns and structural edits signalled via resync_structure.
+class FaultSimBackend {
+ public:
+  virtual ~FaultSimBackend() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// True iff some pattern propagates fault `f` to a primary output.
+  virtual bool detects(const Fault& f) = 0;
+
+  /// Detect flags for all `faults`, parallel to the input span.
+  virtual std::vector<bool> simulate(std::span<const Fault> faults) = 0;
+
+  /// Fault dropping: simulate only faults with `!detected[i]`, setting their
+  /// flag once detected. Returns the number of newly detected faults.
+  virtual std::size_t drop_sim(std::span<const Fault> faults,
+                               std::vector<bool>& detected) = 0;
+
+  /// Per-fault detection bitmaps: word w bit b of row f is set iff pattern
+  /// 64w+b detects fault f. Rows of undetectable faults are all-zero.
+  virtual std::vector<std::vector<std::uint64_t>> detection_matrix(
+      std::span<const Fault> faults) = 0;
+
+  FaultSimContext& context() { return *ctx_; }
+  const FaultSimContext& context() const { return *ctx_; }
+  void set_patterns(const PatternSet& patterns) { ctx_->set_patterns(patterns); }
+  void resync_structure() { ctx_->resync_structure(); }
+  bool po_reachable(NodeId id) const { return ctx_->po_reachable(id); }
+
+ protected:
+  explicit FaultSimBackend(std::shared_ptr<FaultSimContext> ctx)
+      : ctx_(std::move(ctx)) {}
+
+  std::shared_ptr<FaultSimContext> ctx_;
+};
+
+/// Build a backend over a fresh context for `nl`. Mode Auto returns the
+/// measured selector; Event/Packed force the concrete engine. The default
+/// mode argument resolves TZ_FAULT_MODE / set_fault_sim_mode.
+std::unique_ptr<FaultSimBackend> make_fault_sim_backend(
+    const Netlist& nl, FaultSimMode mode = fault_sim_mode());
+
+/// Same, binding an existing (possibly shared) context.
+std::unique_ptr<FaultSimBackend> make_fault_sim_backend(
+    std::shared_ptr<FaultSimContext> ctx, FaultSimMode mode = fault_sim_mode());
+
+}  // namespace tz

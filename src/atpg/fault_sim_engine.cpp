@@ -2,87 +2,53 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <numeric>
 
 #include "sim/gate_eval.hpp"
 
 namespace tz {
 
+FaultSimEngine::FaultSimEngine(std::shared_ptr<FaultSimContext> ctx)
+    : FaultSimBackend(std::move(ctx)), worklist_(ctx_->rank()) {}
+
 FaultSimEngine::FaultSimEngine(const Netlist& nl)
-    : nl_(&nl), sim_(nl), plan_(sim_.plan()) {
-  const std::size_t n = index_count();
-  po_reach_.assign(n, 0);
-  touched_.assign(n, 0);
-  rank_.resize(n);
-  if (plan_) {
-    // Slot order is the topological order, so the worklist rank is the slot
-    // id itself and reachability is one reverse sweep over the fanout CSR
-    // (which already excludes DFF readers — they block a single pass exactly
-    // as they do in BitSimulator::run).
-    std::iota(rank_.begin(), rank_.end(), 0);
-    for (SlotId po : plan_->output_slots()) po_reach_[po] = 1;
-    for (SlotId s = static_cast<SlotId>(n); s-- > 0;) {
-      if (po_reach_[s]) continue;
-      for (SlotId reader : plan_->fanout(s)) {
-        if (po_reach_[reader]) {
-          po_reach_[s] = 1;
-          break;
-        }
-      }
-    }
-  } else {
-    const std::vector<NodeId>& order = sim_.order();
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      rank_[order[i]] = static_cast<std::uint32_t>(i);
-    }
-    // Static reachability: a fault effect at node x is observable only if
-    // some combinational path leads from x to a primary output; DFFs block a
-    // single-pass propagation exactly as they do in BitSimulator::run.
-    // Reverse topological order guarantees every combinational reader is
-    // resolved before the node itself.
-    for (NodeId po : nl.outputs()) po_reach_[po] = 1;
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-      const NodeId id = *it;
-      if (po_reach_[id]) continue;
-      for (NodeId reader : nl.node(id).fanout) {
-        if (nl.is_alive(reader) && nl.node(reader).type != GateType::Dff &&
-            po_reach_[reader]) {
-          po_reach_[id] = 1;
-          break;
-        }
-      }
-    }
-  }
-  worklist_.resize(n);
-}
+    : FaultSimEngine(std::make_shared<FaultSimContext>(nl)) {}
 
 FaultSimEngine::FaultSimEngine(const Netlist& nl, const PatternSet& patterns)
     : FaultSimEngine(nl) {
   set_patterns(patterns);
 }
 
-void FaultSimEngine::set_patterns(const PatternSet& patterns) {
-  // The cone kernels read whole good-machine rows via data() + ix * words;
-  // opt out of the stripe-major layout for this matrix.
-  good_ = sim_.run(patterns, nullptr, ValueLayout::Contiguous);
-  words_ = patterns.num_words();
-  tail_ = patterns.tail_mask();
-  faulty_.resize(index_count() * words_);
-  bits_.assign(words_, 0);
+void FaultSimEngine::sync_scratch() {
+  if (synced_structure_ != ctx_->structure_epoch()) {
+    const std::size_t n = ctx_->index_count();
+    touched_.assign(n, 0);
+    worklist_.resize(n);
+    synced_structure_ = ctx_->structure_epoch();
+  }
+  if (synced_patterns_ != ctx_->pattern_epoch()) {
+    words_ = ctx_->words();
+    tail_ = ctx_->tail_mask();
+    faulty_.resize(ctx_->index_count() * words_);
+    bits_.assign(words_, 0);
+    synced_patterns_ = ctx_->pattern_epoch();
+  }
 }
 
 bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
+  sync_scratch();
+  const Netlist& nl = ctx_->netlist();
+  const EvalPlan* plan = ctx_->plan();
   if (want_bits) std::fill(bits_.begin(), bits_.end(), 0);
-  if (!nl_->is_alive(f.node) || words_ == 0) return false;
-  const std::uint32_t site = plan_ ? plan_->slot_of(f.node) : f.node;
-  if (!po_reach_[site]) return false;
+  if (!nl.is_alive(f.node) || words_ == 0) return false;
+  const std::uint32_t site = plan ? plan->slot_of(f.node) : f.node;
+  if (!ctx_->po_reachable_ix(site)) return false;
 
   // Seed: inject the stuck value at the site. If no pattern excites the
   // fault (good value already equals the stuck value everywhere), nothing
   // can propagate — skip the whole cone.
   const std::uint64_t inject =
       f.value == StuckAt::One ? ~std::uint64_t{0} : 0;
-  const std::uint64_t* g = good_row(site);
+  const std::uint64_t* g = ctx_->good_row(site);
   std::uint64_t excited = 0;
   for (std::size_t w = 0; w < words_; ++w) {
     std::uint64_t diff = inject ^ g[w];
@@ -100,19 +66,19 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
   visited_.push_back(site);
 
   const auto schedule = [&](std::uint32_t src) {
-    if (plan_) {
-      for (SlotId reader : plan_->fanout(src)) worklist_.push(reader);
+    if (plan) {
+      for (SlotId reader : plan->fanout(src)) worklist_.push(reader);
       return;
     }
-    for (NodeId reader : nl_->node(src).fanout) {
-      if (!nl_->is_alive(reader)) continue;
-      const GateType t = nl_->node(reader).type;
+    for (NodeId reader : nl.node(src).fanout) {
+      if (!nl.is_alive(reader)) continue;
+      const GateType t = nl.node(reader).type;
       if (t == GateType::Dff || t == GateType::Input) continue;
       worklist_.push(reader);
     }
   };
   const auto value_of = [&](std::uint32_t ix) -> const std::uint64_t* {
-    return touched_[ix] ? frow(ix) : good_row(ix);
+    return touched_[ix] ? frow(ix) : ctx_->good_row(ix);
   };
 
   // Event-driven cone evaluation. The worklist pops in topological order, so
@@ -122,15 +88,15 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
   while (!worklist_.empty()) {
     const std::uint32_t ix = worklist_.pop();
     std::uint64_t* out = frow(ix);
-    if (plan_) {
-      eval_plan_slot(*plan_, ix, words_, value_of, out);
+    if (plan) {
+      eval_plan_slot(*plan, ix, words_, value_of, out);
     } else {
-      eval_gate_row(nl_->node(ix), words_, value_of, out);
+      eval_gate_row(nl.node(ix), words_, value_of, out);
     }
-    const std::uint64_t* gr = good_row(ix);
+    const std::uint64_t* gr = ctx_->good_row(ix);
     std::uint64_t changed = 0;
     for (std::size_t w = 0; w < words_; ++w) changed |= out[w] ^ gr[w];
-    if (!changed) continue;  // row not marked touched; readers see good_
+    if (!changed) continue;  // row not marked touched; readers see the good_
     touched_[ix] = 1;
     visited_.push_back(ix);
     schedule(ix);
@@ -138,11 +104,11 @@ bool FaultSimEngine::simulate_fault(const Fault& f, bool want_bits) {
 
   bool any = false;
   const std::size_t n_po =
-      plan_ ? plan_->output_slots().size() : nl_->outputs().size();
+      plan ? plan->output_slots().size() : nl.outputs().size();
   for (std::size_t o = 0; o < n_po; ++o) {
-    const std::uint32_t po = plan_ ? plan_->output_slots()[o] : nl_->outputs()[o];
+    const std::uint32_t po = plan ? plan->output_slots()[o] : nl.outputs()[o];
     if (!touched_[po]) continue;
-    const std::uint64_t* gp = good_row(po);
+    const std::uint64_t* gp = ctx_->good_row(po);
     const std::uint64_t* fp = frow(po);
     for (std::size_t w = 0; w < words_; ++w) {
       std::uint64_t diff = gp[w] ^ fp[w];
@@ -188,6 +154,16 @@ std::size_t FaultSimEngine::drop_sim(std::span<const Fault> faults,
     }
   }
   return newly;
+}
+
+std::vector<std::vector<std::uint64_t>> FaultSimEngine::detection_matrix(
+    std::span<const Fault> faults) {
+  std::vector<std::vector<std::uint64_t>> matrix(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    simulate_fault(faults[i], /*want_bits=*/true);
+    matrix[i] = bits_;
+  }
+  return matrix;
 }
 
 }  // namespace tz

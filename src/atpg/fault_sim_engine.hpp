@@ -1,18 +1,15 @@
-// Reusable bit-parallel stuck-at fault-simulation engine.
+// Event-driven stuck-at fault-simulation backend.
 //
-// A FaultSimEngine is constructed once per (netlist, pattern-set) pair and
-// owns all scratch state, so simulating one fault costs O(fanout cone):
-//  - the good-machine simulation runs once and is shared by every fault;
-//  - per-fault faulty values are computed event-driven over an explicit
-//    worklist ordered by topological rank, touching (and later clearing)
-//    only the rows the fault's effect actually reaches — no netlist-sized
-//    zero-fill per fault;
-//  - a static fanout-cone -> primary-output reachability pass skips faults
-//    that can never be observed, and a masked excitation check skips faults
-//    the pattern set never activates;
-//  - first-class fault dropping (`drop_sim`) lets callers re-simulate only
-//    still-undetected faults as patterns accumulate, which turns the ATPG
-//    deterministic phase from quadratic re-simulation into incremental work.
+// One fault at a time, 64 patterns per word: per-fault faulty values are
+// computed event-driven over an explicit worklist ordered by topological
+// rank, touching (and later clearing) only the rows the fault's effect
+// actually reaches — no netlist-sized zero-fill per fault. The static
+// analyses (ranks, fanout-cone -> PO reachability) and the shared
+// good-machine simulation live in FaultSimContext (fault_sim_backend.hpp)
+// and are cached across calls, pattern swaps and sibling backends; a masked
+// excitation check additionally skips faults the pattern set never
+// activates. First-class fault dropping (`drop_sim`) lets callers
+// re-simulate only still-undetected faults as patterns accumulate.
 //
 // On the compiled-plan path (TZ_EVAL_PLAN, default on) the cone walk indexes
 // sim/eval_plan.hpp slots: slot ids double as topological ranks, fanout
@@ -20,14 +17,19 @@
 // arity-specialized kernels instead of dereferencing Node objects. The
 // legacy Node-walking path is kept (TZ_EVAL_PLAN=0) and is bit-identical.
 //
-// The free functions in atpg/fault_sim.hpp are thin wrappers over this class.
+// This engine wins when fanout cones are sparse relative to the netlist; its
+// word-packed sibling (fault_sim_packed.hpp) wins on dense cones. The free
+// functions in atpg/fault_sim.hpp route through make_fault_sim_backend.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "atpg/fault.hpp"
+#include "atpg/fault_sim_backend.hpp"
 #include "sim/eval_plan.hpp"
 #include "sim/patterns.hpp"
 #include "sim/rank_worklist.hpp"
@@ -35,77 +37,66 @@
 
 namespace tz {
 
-class FaultSimEngine {
+class FaultSimEngine final : public FaultSimBackend {
  public:
   /// Binds the netlist and runs the good machine on `patterns`. The netlist
-  /// must outlive the engine and stay structurally unchanged while in use.
+  /// must outlive the engine and stay structurally unchanged while in use
+  /// (call resync_structure() after structural edits).
   FaultSimEngine(const Netlist& nl, const PatternSet& patterns);
 
   /// Netlist-only construction (static analyses run, no good machine yet);
   /// call set_patterns() before simulating any fault.
   explicit FaultSimEngine(const Netlist& nl);
 
-  /// Re-run the good machine on a new pattern set, keeping the static
-  /// netlist analyses (topological ranks, PO reachability). Scratch buffers
-  /// are reused when the word count allows.
-  void set_patterns(const PatternSet& patterns);
+  /// Shares an existing context (static analyses + good machine) instead of
+  /// building a private one — the factory/auto-selector path.
+  explicit FaultSimEngine(std::shared_ptr<FaultSimContext> ctx);
+
+  std::string_view name() const override { return "event"; }
 
   /// True iff some pattern propagates fault `f` to a primary output.
-  bool detects(const Fault& f);
+  bool detects(const Fault& f) override;
 
   /// Per-pattern detection bitmap for `f`: bit 64w+b of word w is set iff
   /// pattern 64w+b detects the fault. Valid until the next simulate call.
   const std::vector<std::uint64_t>& detection_bits(const Fault& f);
 
   /// Detect flags for all `faults`, parallel to the input span.
-  std::vector<bool> simulate(std::span<const Fault> faults);
+  std::vector<bool> simulate(std::span<const Fault> faults) override;
 
   /// Fault dropping: simulate only faults with `!detected[i]`, setting their
   /// flag once detected. Returns the number of newly detected faults.
   /// `detected` must be parallel to `faults`.
   std::size_t drop_sim(std::span<const Fault> faults,
-                       std::vector<bool>& detected);
+                       std::vector<bool>& detected) override;
 
-  std::size_t num_words() const { return words_; }
-  const NodeValues& good() const { return good_; }
+  std::vector<std::vector<std::uint64_t>> detection_matrix(
+      std::span<const Fault> faults) override;
 
-  /// Static reachability: false means no combinational path from `id` to any
-  /// primary output exists, so no fault at `id` is ever detectable.
-  bool po_reachable(NodeId id) const {
-    if (plan_) {
-      const SlotId s = plan_->slot_of(id);
-      return s != kNoSlot && po_reach_[s] != 0;
-    }
-    return po_reach_[id] != 0;
-  }
+  std::size_t num_words() const { return ctx_->words(); }
+  const NodeValues& good() const { return ctx_->good(); }
 
  private:
   /// Event-driven faulty-machine evaluation; leaves the detection bitmap in
   /// `bits_` when `want_bits`, else exits early on the first detecting word.
   bool simulate_fault(const Fault& f, bool want_bits);
 
-  /// Index space of the cone walk: plan slots when compiled, NodeIds else.
-  std::size_t index_count() const {
-    return plan_ ? plan_->num_slots() : nl_->raw_size();
-  }
-  std::uint64_t* frow(std::uint32_t ix) { return faulty_.data() + ix * words_; }
-  const std::uint64_t* good_row(std::uint32_t ix) const {
-    return plan_ ? good_.data() + std::size_t{ix} * words_ : good_.row(ix);
-  }
+  /// Lazily resize the per-fault scratch after the context's structure or
+  /// pattern epoch moved (shared contexts advance underneath the engine).
+  void sync_scratch();
 
-  const Netlist* nl_;
-  BitSimulator sim_;
-  const EvalPlan* plan_;             ///< sim_'s plan (nullptr = legacy path)
-  std::vector<std::uint32_t> rank_;  ///< worklist order (identity over slots)
-  std::vector<char> po_reach_;       ///< static cone -> PO reachability
-  NodeValues good_;
+  std::uint64_t* frow(std::uint32_t ix) { return faulty_.data() + ix * words_; }
+
+  // Cached off the context by sync_scratch (hot-loop locals).
   std::size_t words_ = 0;
   std::uint64_t tail_ = 0;
+  std::uint64_t synced_structure_ = 0;
+  std::uint64_t synced_patterns_ = 0;
   // Per-fault scratch, reset via `visited_` so cost tracks the cone size.
   std::vector<std::uint64_t> faulty_;  ///< rows valid only where touched_
   std::vector<char> touched_;
   std::vector<std::uint32_t> visited_;  ///< touched rows to un-touch
-  RankWorklist worklist_{rank_};
+  RankWorklist worklist_;
   std::vector<std::uint64_t> bits_;  ///< detection bitmap of the last fault
 };
 

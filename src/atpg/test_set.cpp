@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <random>
 
-#include "atpg/fault_sim_engine.hpp"
+#include "atpg/fault_sim_backend.hpp"
 #include "prob/signal_prob.hpp"
 #include "sim/simulator.hpp"
 
@@ -18,12 +18,21 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
   if (opt.collapse) faults = collapse_faults(nl, faults);
   ts.coverage.total_faults = faults.size();
 
+  // One fault-simulation backend serves both phases: the static netlist
+  // analyses and the compiled plan are computed once and carried from the
+  // bootstrap detection matrix through deterministic-phase dropping.
+  const FaultSimMode mode = opt.fault_mode != FaultSimMode::Auto
+                                ? opt.fault_mode
+                                : fault_sim_mode();
+  const auto backend = make_fault_sim_backend(nl, mode);
+
   // Phase 1: random bootstrap with static compaction — only patterns that
   // contribute a first detection are kept in the shipped TP set, as a
   // production pattern-compaction flow would do.
   const PatternSet bootstrap =
       random_patterns(nl.inputs().size(), opt.random_patterns, opt.seed);
-  const auto matrix = detection_matrix(nl, faults, bootstrap);
+  backend->set_patterns(bootstrap);
+  const auto matrix = backend->detection_matrix(faults);
   const std::vector<std::size_t> kept =
       compact_patterns(matrix, bootstrap.num_patterns());
   PatternSet patterns(nl.inputs().size(), kept.size());
@@ -42,12 +51,11 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
   for (const auto d : detected) covered += d ? 1 : 0;
 
   // Phase 2: PODEM on survivors, dropping newly covered faults as we go and
-  // stopping at the defender's coverage target. One fault-sim engine carries
+  // stopping at the defender's coverage target. The shared backend carries
   // the static netlist analyses across candidate patterns (drop_sim only
   // re-simulates still-undetected faults), and one PODEM engine reuses the
   // topological order and implication scratch across target faults —
   // incremental work per pattern instead of a full fault-universe sweep.
-  FaultSimEngine engine(nl);
   PodemEngine podem_engine(nl);
   std::vector<std::size_t> order(faults.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
@@ -95,8 +103,8 @@ DefenderTestSet generate_atpg_tests(const Netlist& nl,
       one.set(0, s, bit);
     }
     // Drop every remaining fault this new pattern detects.
-    engine.set_patterns(one);
-    const std::size_t newly = engine.drop_sim(faults, detected);
+    backend->set_patterns(one);
+    const std::size_t newly = backend->drop_sim(faults, detected);
     covered += newly;
     if (newly > 0) patterns.append_all(one);
   }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "atpg/fault_sim.hpp"
+#include "atpg/fault_sim_backend.hpp"
 #include "atpg/podem.hpp"
 #include "sim/patterns.hpp"
 
@@ -41,6 +42,10 @@ struct TestGenOptions {
   enum class FaultOrder { TestabilityFirst, Shuffled } fault_order =
       FaultOrder::TestabilityFirst;
   std::uint64_t fault_order_seed = 7;  ///< Used by FaultOrder::Shuffled.
+  /// Fault-simulation backend for both ATPG phases (bootstrap grading and
+  /// deterministic-phase dropping). Auto defers to TZ_FAULT_MODE /
+  /// set_fault_sim_mode, falling back to the measured per-workload selector.
+  FaultSimMode fault_mode = FaultSimMode::Auto;
   // ---- suite composition (the defender's q algorithms) ----
   bool with_random_validation = true;   ///< Bespoke random vectors.
   std::size_t validation_patterns = 128;

@@ -166,8 +166,9 @@ void EvalPlan::evaluate_striped(std::uint64_t* values,
   if (words == 0) return;
   const std::size_t bw = block_words(words);
   const detail::StripeKernelFn kern = detail::stripe_kernel();
+  const auto n = static_cast<std::uint32_t>(num_slots());
   for (std::size_t w0 = 0; w0 < words; w0 += bw) {
-    kern(*this, values + num_slots() * w0, std::min(bw, words - w0));
+    kern(*this, values + num_slots() * w0, std::min(bw, words - w0), 0, n);
   }
 }
 

@@ -22,16 +22,22 @@ class EvalPlan;
 
 namespace detail {
 
-/// Evaluate every non-source slot of one stripe-major block: row of slot s
-/// is `stripe + s * bw` (bw = the stripe's word count).
+/// Evaluate the non-source slots in [begin, end) of one stripe-major block:
+/// row of slot s is `stripe + s * bw` (bw = the stripe's word count). The
+/// full-plan sweep passes [0, num_slots); the packed fault-simulation engine
+/// splits the sweep at fault-site slots so it can force the stuck values
+/// between ranges before any reader slot evaluates.
 using StripeKernelFn = void (*)(const EvalPlan& plan, std::uint64_t* stripe,
-                                std::size_t bw);
+                                std::size_t bw, std::uint32_t begin,
+                                std::uint32_t end);
 
 void eval_plan_stripe_generic(const EvalPlan& plan, std::uint64_t* stripe,
-                              std::size_t bw);
+                              std::size_t bw, std::uint32_t begin,
+                              std::uint32_t end);
 #ifdef TZ_AVX2_KERNELS
 void eval_plan_stripe_avx2(const EvalPlan& plan, std::uint64_t* stripe,
-                           std::size_t bw);
+                           std::size_t bw, std::uint32_t begin,
+                           std::uint32_t end);
 #endif
 
 /// The kernel for this process (CPUID probe + TZ_SIMD override, cached).

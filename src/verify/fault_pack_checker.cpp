@@ -1,0 +1,155 @@
+// FaultPackChecker — packing invariants of the word-packed fault simulator.
+//
+// The packed engine (atpg/fault_sim_packed.hpp) forces stuck values by
+// blending per-slot lane masks into the SoA sweep between ranged kernel
+// calls. The correctness of a whole 64-fault batch rests on the mask
+// bookkeeping built before the sweep; this checker validates that snapshot
+// (FaultPackBatch) without touching the value matrix:
+//
+//  - PackSiteSlot: every live lane's fault node maps to a valid, evaluable
+//    plan slot; the site list is strictly ascending (the sweep splits at
+//    sites in slot order) and its masks represent each lane at exactly the
+//    lane's own site with the right stuck polarity.
+//  - PackLaneBleed: forcing masks are pairwise disjoint and confined to
+//    lanes_mask. Kernel opcodes are lane-wise, so mask disjointness is
+//    precisely the no-cross-fault-bleed guarantee, and keeping padding lanes
+//    unforced is what lets them carry the good machine.
+//  - PackLaneBijection: the live lanes are dense low bits, one per undropped
+//    caller fault, no fault appearing in two lanes — the drop-list <->
+//    live-lane bijection fault dropping relies on.
+#include <algorithm>
+#include <string>
+
+#include "verify/verify.hpp"
+
+namespace tz {
+
+namespace {
+
+std::uint64_t lane_bit(std::size_t lane) { return std::uint64_t{1} << lane; }
+
+}  // namespace
+
+VerifyReport FaultPackChecker::run(const FaultPackBatch& b) {
+  VerifyReport r;
+  if (b.plan == nullptr) {
+    r.add(CheckId::PackSiteSlot, "batch has no plan");
+    return r;
+  }
+  const EvalPlan& plan = *b.plan;
+  const std::size_t lanes = b.lane_node.size();
+
+  // -- PackLaneBijection: dense low live lanes, one undropped fault each.
+  const std::uint64_t want_mask =
+      lanes >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  if (lanes > 64 || b.lanes_mask != want_mask) {
+    r.add(CheckId::PackLaneBijection,
+          "lanes_mask does not cover the " + std::to_string(lanes) +
+              " batch lanes as dense low bits");
+  }
+  if (b.lane_fault.size() != lanes) {
+    r.add(CheckId::PackLaneBijection,
+          "lane_fault size " + std::to_string(b.lane_fault.size()) +
+              " != lane count " + std::to_string(lanes));
+  } else {
+    std::vector<std::size_t> sorted(b.lane_fault.begin(), b.lane_fault.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+      r.add(CheckId::PackLaneBijection,
+            "a fault index occupies more than one lane");
+    }
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t f = b.lane_fault[lane];
+      if (f < b.dropped.size() && b.dropped[f]) {
+        r.add(CheckId::PackLaneBijection,
+              "lane " + std::to_string(lane) + " simulates fault " +
+                  std::to_string(f) + " which is already dropped");
+      }
+    }
+  }
+  if ((b.sa1_lanes & ~b.lanes_mask) != 0) {
+    r.add(CheckId::PackLaneBijection, "sa1_lanes marks non-live lanes");
+  }
+
+  // -- PackSiteSlot: site list sorted/valid, masks agree with lane faults.
+  if (b.site_mask.size() != b.site_slot.size() ||
+      b.site_force_one.size() != b.site_slot.size()) {
+    r.add(CheckId::PackSiteSlot, "site mask arrays not parallel to site_slot");
+    return r;
+  }
+  for (std::size_t i = 0; i < b.site_slot.size(); ++i) {
+    const SlotId s = b.site_slot[i];
+    if (s >= plan.num_slots()) {
+      r.add(CheckId::PackSiteSlot,
+            "site slot out of range: " + std::to_string(s), kNoNode, s);
+      return r;
+    }
+    if (plan.op(s) == EvalOp::Dead) {
+      r.add(CheckId::PackSiteSlot, "site slot is a dead tombstone", kNoNode,
+            s);
+    }
+    if (i > 0 && b.site_slot[i - 1] >= s) {
+      r.add(CheckId::PackSiteSlot,
+            "site slots not strictly ascending at index " + std::to_string(i),
+            kNoNode, s);
+    }
+    if ((b.site_force_one[i] & ~b.site_mask[i]) != 0) {
+      r.add(CheckId::PackSiteSlot,
+            "site forces a one outside its own mask", kNoNode, s);
+    }
+  }
+  // Each lane must be forced at exactly its fault's slot, nowhere else, with
+  // the stuck-at polarity recorded in sa1_lanes.
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const NodeId node = b.lane_node[lane];
+    const SlotId want = plan.slot_of(node);
+    if (want == kNoSlot) {
+      r.add(CheckId::PackSiteSlot,
+            "lane " + std::to_string(lane) + " fault node has no plan slot",
+            node);
+      continue;
+    }
+    const std::uint64_t bit = lane_bit(lane);
+    bool found = false;
+    for (std::size_t i = 0; i < b.site_slot.size(); ++i) {
+      if ((b.site_mask[i] & bit) == 0) continue;
+      if (found || b.site_slot[i] != want) {
+        r.add(CheckId::PackSiteSlot,
+              "lane " + std::to_string(lane) +
+                  " forced at a slot that is not its fault site",
+              node, b.site_slot[i]);
+      }
+      const bool sa1 = (b.sa1_lanes & bit) != 0;
+      if (((b.site_force_one[i] & bit) != 0) != sa1) {
+        r.add(CheckId::PackSiteSlot,
+              "lane " + std::to_string(lane) + " stuck polarity mismatch",
+              node, b.site_slot[i]);
+      }
+      found = true;
+    }
+    if (!found) {
+      r.add(CheckId::PackSiteSlot,
+            "lane " + std::to_string(lane) + " is never forced", node, want);
+    }
+  }
+
+  // -- PackLaneBleed: masks pairwise disjoint, no forcing outside live lanes.
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < b.site_slot.size(); ++i) {
+    const std::uint64_t m = b.site_mask[i];
+    if ((m & ~b.lanes_mask) != 0) {
+      r.add(CheckId::PackLaneBleed,
+            "site mask forces padding lanes (good machine would be lost)",
+            kNoNode, b.site_slot[i]);
+    }
+    if ((m & seen) != 0) {
+      r.add(CheckId::PackLaneBleed,
+            "site mask overlaps another site's lanes (cross-fault bleed)",
+            kNoNode, b.site_slot[i]);
+    }
+    seen |= m;
+  }
+  return r;
+}
+
+}  // namespace tz

@@ -1,6 +1,7 @@
 #include "verify/verify.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -28,6 +29,9 @@ std::string_view to_string(CheckId id) {
     case CheckId::PlanIoLists: return "plan-io-lists";
     case CheckId::PlanBlockLayout: return "plan-block-layout";
     case CheckId::PlanEquivalence: return "plan-equivalence";
+    case CheckId::PackSiteSlot: return "pack-site-slot";
+    case CheckId::PackLaneBleed: return "pack-lane-bleed";
+    case CheckId::PackLaneBijection: return "pack-lane-bijection";
   }
   return "unknown-check";
 }
@@ -61,6 +65,58 @@ std::string VerifyReport::format() const {
     if (v.slot != kNoSlot) os << " slot " << v.slot;
     os << ": " << v.message << "\n";
   }
+  return os.str();
+}
+
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes (the
+/// only things checker messages can contain beyond plain ASCII).
+void json_escape(std::ostringstream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string VerifyReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"ok\": " << (ok() ? "true" : "false") << ", \"violations\": [";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& v = violations[i];
+    if (i != 0) os << ", ";
+    os << "{\"check\": \"" << to_string(v.id) << "\", \"node\": ";
+    if (v.node != kNoNode) {
+      os << v.node;
+    } else {
+      os << "null";
+    }
+    os << ", \"slot\": ";
+    if (v.slot != kNoSlot) {
+      os << v.slot;
+    } else {
+      os << "null";
+    }
+    os << ", \"message\": \"";
+    json_escape(os, v.message);
+    os << "\"}";
+  }
+  os << "]}";
   return os.str();
 }
 

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -68,6 +69,10 @@ enum class CheckId : std::uint8_t {
   PlanIoLists,        ///< input/dff/output slot lists out of sync.
   PlanBlockLayout,    ///< block_words()/stripe bookkeeping contract broken.
   PlanEquivalence,    ///< Patched plan not isomorphic to a fresh recompile.
+  // FaultPackChecker
+  PackSiteSlot,       ///< Injection site/mask disagrees with the fault lane.
+  PackLaneBleed,      ///< Forcing masks overlap or touch non-live lanes.
+  PackLaneBijection,  ///< Live lanes <-> undropped faults not a bijection.
 };
 
 /// Stable kebab-case id, e.g. "net-dangling-fanin".
@@ -96,6 +101,12 @@ struct VerifyReport {
 
   /// Multi-line human-readable report ("<check-id> [node/slot] message").
   std::string format() const;
+
+  /// Structured JSON report: {"ok": bool, "violations": [{"check": "<id>",
+  /// "node": n|null, "slot": s|null, "message": "..."}]}. Check ids are the
+  /// stable kebab-case strings, so CI and external tooling can diff findings
+  /// across runs (tools/tz_check --json).
+  std::string to_json() const;
 };
 
 struct NetlistCheckOptions {
@@ -126,6 +137,38 @@ class PlanChecker {
  public:
   static VerifyReport run(const EvalPlan& plan, const Netlist& nl,
                           const PlanCheckOptions& opt = {});
+};
+
+/// A snapshot of one packed fault-simulation batch
+/// (atpg/fault_sim_packed.hpp): up to 64 fault machines share one word, lane
+/// i of the batch simulating the i-th live (undropped) fault. The packed
+/// engine builds this view right before sweeping a batch; FaultPackChecker
+/// validates it under TZ_CHECK. Spans alias the engine's batch scratch and
+/// are only valid while the batch is in flight.
+struct FaultPackBatch {
+  const EvalPlan* plan = nullptr;
+  std::uint64_t lanes_mask = 0;  ///< live lanes (dense low bits)
+  std::uint64_t sa1_lanes = 0;   ///< lanes whose fault is stuck-at-1
+  std::span<const NodeId> lane_node;        ///< per lane: fault site node
+  std::span<const std::size_t> lane_fault;  ///< per lane: caller fault index
+  std::span<const SlotId> site_slot;        ///< ascending unique site slots
+  std::span<const std::uint64_t> site_mask;      ///< per site: forced lanes
+  std::span<const std::uint64_t> site_force_one; ///< per site: stuck-at-1 lanes
+  /// Caller detection flags at batch-build time (empty when the caller does
+  /// not drop faults); indexed by lane_fault entries.
+  std::span<const char> dropped;
+};
+
+/// Validates a packed fault-simulation batch against its plan: every lane's
+/// site slot and stuck value is represented by exactly one mask bit at the
+/// right slot (PackSiteSlot), forcing masks are pairwise disjoint and
+/// confined to live lanes so fault machines cannot bleed into each other or
+/// into the good-machine padding lanes (PackLaneBleed), and the live lanes
+/// are a bijection with the undropped faults handed in by the caller
+/// (PackLaneBijection).
+class FaultPackChecker {
+ public:
+  static VerifyReport run(const FaultPackBatch& batch);
 };
 
 /// Validates a NodeValues matrix's layout bookkeeping against its plan

@@ -1,12 +1,18 @@
 // Tests for the stuck-at fault model, PODEM and fault simulation.
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <gtest/gtest.h>
 
+#include "atpg/fault_sim_backend.hpp"
 #include "atpg/fault_sim_engine.hpp"
+#include "atpg/fault_sim_packed.hpp"
 #include "atpg/test_set.hpp"
 #include "gen/iscas.hpp"
 #include "gen/random_circuit.hpp"
 #include "sim/simulator.hpp"
+#include "testutil.hpp"
 
 namespace tz {
 namespace {
@@ -341,6 +347,224 @@ TEST(FaultSimEngine, UnreachableSiteSkippedStatically) {
   EXPECT_TRUE(engine.po_reachable(a));
   EXPECT_FALSE(engine.detects(Fault{dead, StuckAt::One}));
   EXPECT_TRUE(engine.detects(Fault{a, StuckAt::One}));
+}
+
+// ---- pluggable backend layer -----------------------------------------------
+
+TEST(FaultBackend, ModeSelectionAndFactoryNames) {
+  EXPECT_EQ(to_string(FaultSimMode::Auto), "auto");
+  EXPECT_EQ(to_string(FaultSimMode::Event), "event");
+  EXPECT_EQ(to_string(FaultSimMode::Packed), "packed");
+
+  const Netlist nl = gen_c17();
+  EXPECT_EQ(make_fault_sim_backend(nl, FaultSimMode::Event)->name(), "event");
+  EXPECT_EQ(make_fault_sim_backend(nl, FaultSimMode::Packed)->name(),
+            "packed");
+  EXPECT_EQ(make_fault_sim_backend(nl, FaultSimMode::Auto)->name(), "auto");
+
+  // The process-wide override follows the TZ_EVAL_PLAN hook idiom: 0/1/2
+  // force a mode (out-of-range clamps), -1 restores the env default.
+  {
+    const test::FaultModeGuard packed(2);
+    EXPECT_EQ(fault_sim_mode(), FaultSimMode::Packed);
+    EXPECT_EQ(make_fault_sim_backend(nl)->name(), "packed");
+    set_fault_sim_mode(1);
+    EXPECT_EQ(fault_sim_mode(), FaultSimMode::Event);
+    set_fault_sim_mode(0);
+    EXPECT_EQ(fault_sim_mode(), FaultSimMode::Auto);
+    set_fault_sim_mode(99);
+    EXPECT_EQ(fault_sim_mode(), FaultSimMode::Packed);
+  }
+
+  // Both engines bind to one shared context: the static analyses and the
+  // good machine are computed once no matter how many backends consume them.
+  const auto ctx = std::make_shared<FaultSimContext>(nl);
+  const auto event = make_fault_sim_backend(ctx, FaultSimMode::Event);
+  const auto packed = make_fault_sim_backend(ctx, FaultSimMode::Packed);
+  EXPECT_EQ(&event->context(), &packed->context());
+}
+
+TEST(FaultBackend, PackedMatchesEventAcrossPlanModes) {
+  // The packed engine must be bit-identical to the event engine on every
+  // query of the backend contract, on both the compiled-plan and legacy
+  // simulation paths.
+  for (const char* name : {"c432", "c880"}) {
+    const Netlist nl = make_benchmark(name);
+    const auto faults = collapse_faults(nl, fault_universe(nl));
+    const PatternSet ps = random_patterns(nl.inputs().size(), 150, 9);
+    for (const int plan_mode : {0, 1}) {
+      const test::PlanModeGuard guard(plan_mode);
+      const std::string label =
+          std::string(name) + " plan=" + std::to_string(plan_mode);
+      const auto event = make_fault_sim_backend(nl, FaultSimMode::Event);
+      const auto packed = make_fault_sim_backend(nl, FaultSimMode::Packed);
+      event->set_patterns(ps);
+      packed->set_patterns(ps);
+
+      const std::vector<bool> eflags = event->simulate(faults);
+      EXPECT_EQ(packed->simulate(faults), eflags) << label;
+      EXPECT_EQ(packed->detection_matrix(faults),
+                event->detection_matrix(faults))
+          << label;
+      for (std::size_t i = 0; i < faults.size(); i += 17) {
+        EXPECT_EQ(packed->detects(faults[i]), event->detects(faults[i]))
+            << label << " fault " << to_string(nl, faults[i]);
+      }
+      std::vector<bool> edrop(faults.size(), false);
+      std::vector<bool> pdrop(faults.size(), false);
+      EXPECT_EQ(packed->drop_sim(faults, pdrop),
+                event->drop_sim(faults, edrop))
+          << label;
+      EXPECT_EQ(pdrop, edrop) << label;
+    }
+  }
+}
+
+TEST(FaultBackend, DetectionMatrixWordBoundaries) {
+  // The packed engine packs 64 faults per word and 64 patterns per block;
+  // the event engine packs 64 patterns per word. Exercise every off-by-one
+  // around both boundaries: fault counts and pattern counts one below, at,
+  // and one above a full word.
+  const Netlist nl = make_benchmark("c432");
+  const auto universe = fault_universe(nl);
+  ASSERT_GE(universe.size(), 65u);
+  for (const std::size_t nf : {63u, 64u, 65u}) {
+    const std::span<const Fault> faults(universe.data(), nf);
+    for (const std::size_t np : {63u, 64u, 65u}) {
+      const PatternSet ps =
+          random_patterns(nl.inputs().size(), np, 31 * nf + np);
+      const std::string label =
+          "faults=" + std::to_string(nf) + " patterns=" + std::to_string(np);
+      const auto event = make_fault_sim_backend(nl, FaultSimMode::Event);
+      const auto packed = make_fault_sim_backend(nl, FaultSimMode::Packed);
+      event->set_patterns(ps);
+      packed->set_patterns(ps);
+      const auto ematrix = event->detection_matrix(faults);
+      const auto pmatrix = packed->detection_matrix(faults);
+      EXPECT_EQ(pmatrix, ematrix) << label;
+      // No detection bit may land beyond the pattern tail.
+      const std::uint64_t tail = ps.tail_mask();
+      for (const auto& row : pmatrix) {
+        ASSERT_EQ(row.size(), ps.num_words()) << label;
+        EXPECT_EQ(row.back() & ~tail, 0u) << label;
+      }
+      EXPECT_EQ(packed->simulate(faults), event->simulate(faults)) << label;
+    }
+  }
+}
+
+TEST(FaultBackend, ZeroDetectRowsAndAllDroppedBatches) {
+  // g = AND(a, b) under all-zero patterns: g stuck-at-0 is never excited
+  // (zero detection row), g stuck-at-1 flips every pattern (full row up to
+  // the tail). Both backends must agree on both extremes, and a drop_sim
+  // where every fault is already dropped must touch nothing.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId g = nl.add_gate(GateType::And, "g", {a, b});
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {g});
+  nl.mark_output(o);
+  const PatternSet zeros(nl.inputs().size(), 70);  // all-zero, 2 words
+  const std::vector<Fault> faults = {{g, StuckAt::Zero}, {g, StuckAt::One},
+                                     {a, StuckAt::One}, {b, StuckAt::One}};
+  for (const FaultSimMode mode : {FaultSimMode::Event, FaultSimMode::Packed}) {
+    const auto backend = make_fault_sim_backend(nl, mode);
+    backend->set_patterns(zeros);
+    const auto matrix = backend->detection_matrix(faults);
+    ASSERT_EQ(matrix.size(), faults.size());
+    const std::vector<std::uint64_t> zero_row(zeros.num_words(), 0);
+    const std::vector<std::uint64_t> full_row = {~std::uint64_t{0},
+                                                 zeros.tail_mask()};
+    EXPECT_EQ(matrix[0], zero_row) << backend->name();   // g sa0: unexcited
+    EXPECT_EQ(matrix[1], full_row) << backend->name();   // g sa1: every TP
+    // a/b sa1 are excited but masked by the other AND input staying 0.
+    EXPECT_EQ(matrix[2], zero_row) << backend->name();
+    EXPECT_EQ(matrix[3], zero_row) << backend->name();
+
+    std::vector<bool> all_dropped(faults.size(), true);
+    EXPECT_EQ(backend->drop_sim(faults, all_dropped), 0u) << backend->name();
+    EXPECT_EQ(all_dropped, std::vector<bool>(faults.size(), true))
+        << backend->name();
+  }
+}
+
+TEST(FaultBackend, ResyncStructureRefreshesReachability) {
+  // Satellite contract: PO reachability is computed once and cached across
+  // pattern swaps (structure epoch stable, pattern epoch advancing), and
+  // resync_structure is the single invalidation point after a structural
+  // edit — here a gate becoming observable by gaining an output marking.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId g = nl.add_gate(GateType::Not, "g", {a});
+  const NodeId o = nl.add_gate(GateType::Buf, "o", {a});
+  nl.mark_output(o);
+  for (const FaultSimMode mode : {FaultSimMode::Event, FaultSimMode::Packed}) {
+    Netlist work = nl;
+    const auto backend = make_fault_sim_backend(work, mode);
+    backend->set_patterns(exhaustive_patterns(1));
+    const std::uint64_t epoch0 = backend->context().structure_epoch();
+    EXPECT_FALSE(backend->po_reachable(g)) << backend->name();
+    EXPECT_FALSE(backend->detects(Fault{g, StuckAt::Zero}))
+        << backend->name();
+
+    // Pattern swaps must reuse the cached static analyses.
+    backend->set_patterns(exhaustive_patterns(1));
+    EXPECT_EQ(backend->context().structure_epoch(), epoch0)
+        << backend->name();
+    EXPECT_GT(backend->context().pattern_epoch(), 1u) << backend->name();
+
+    work.mark_output(g);
+    backend->resync_structure();
+    backend->set_patterns(exhaustive_patterns(1));
+    EXPECT_GT(backend->context().structure_epoch(), epoch0)
+        << backend->name();
+    EXPECT_TRUE(backend->po_reachable(g)) << backend->name();
+    EXPECT_TRUE(backend->detects(Fault{g, StuckAt::Zero})) << backend->name();
+  }
+}
+
+TEST(TestGen, AtpgBitIdenticalAcrossBackendsAndPlanModes) {
+  // The full ATPG flow (bootstrap grading, compaction, PODEM dropping) must
+  // produce the same pattern set, golden responses and coverage counters no
+  // matter which fault-simulation backend runs it, on both simulation paths.
+  const Netlist nl = make_benchmark("c880");
+  TestGenOptions opt;
+  opt.random_patterns = 64;
+  opt.max_patterns = 64;
+
+  opt.fault_mode = FaultSimMode::Event;
+  DefenderTestSet base;
+  {
+    const test::PlanModeGuard legacy(0);
+    base = generate_atpg_tests(nl, opt);
+  }
+  const auto expect_same = [&](const DefenderTestSet& ts,
+                               const std::string& label) {
+    EXPECT_EQ(ts.patterns.num_patterns(), base.patterns.num_patterns())
+        << label;
+    EXPECT_TRUE(BitSimulator::responses_equal(ts.patterns, base.patterns))
+        << label;
+    EXPECT_TRUE(BitSimulator::responses_equal(ts.golden, base.golden))
+        << label;
+    EXPECT_EQ(ts.coverage.detected, base.coverage.detected) << label;
+    EXPECT_EQ(ts.untestable, base.untestable) << label;
+    EXPECT_EQ(ts.aborted, base.aborted) << label;
+  };
+  for (const int plan_mode : {0, 1}) {
+    const test::PlanModeGuard guard(plan_mode);
+    for (const FaultSimMode mode :
+         {FaultSimMode::Event, FaultSimMode::Packed, FaultSimMode::Auto}) {
+      opt.fault_mode = mode;
+      expect_same(generate_atpg_tests(nl, opt),
+                  "plan=" + std::to_string(plan_mode) + " mode=" +
+                      std::string(to_string(mode)));
+    }
+  }
+  // The TZ_FAULT_MODE process override must reach the flow when the options
+  // leave the mode at Auto.
+  opt.fault_mode = FaultSimMode::Auto;
+  const test::FaultModeGuard packed(2);
+  expect_same(generate_atpg_tests(nl, opt), "TZ_FAULT_MODE override");
 }
 
 TEST(FaultSimEngine, DffBlocksPropagationLikeBitSimulator) {

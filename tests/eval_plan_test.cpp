@@ -330,8 +330,9 @@ TEST(StripeLayout, GenericKernelMatchesDispatched) {
                                               vals.data() + total);
   const std::size_t bw = plan.block_words(words);
   for (std::size_t w0 = 0; w0 < words; w0 += bw) {
-    detail::eval_plan_stripe_generic(plan, vals.data() + plan.num_slots() * w0,
-                                     std::min(bw, words - w0));
+    detail::eval_plan_stripe_generic(
+        plan, vals.data() + plan.num_slots() * w0, std::min(bw, words - w0), 0,
+        static_cast<std::uint32_t>(plan.num_slots()));
   }
   for (std::size_t i = 0; i < total; ++i) {
     ASSERT_EQ(vals.data()[i], dispatched[i]) << "flat index " << i;

@@ -475,6 +475,76 @@ TEST(EvalPlanFlow, BitIdenticalToLegacyEnginesAcrossThreadCounts) {
   }
 }
 
+TEST(EvalPlanFlow, FaultBackendBitIdenticalThroughFlow) {
+  // The fault-simulation backend must be invisible end to end: the defender
+  // suite ATPG generates and every downstream flow verdict (accepted ties,
+  // HT/victim choices, power numbers) are bit-identical across Event/Packed
+  // x TZ_EVAL_PLAN=0/1 x threads {1, 2, 8}.
+  const Netlist original = make_benchmark("c880");
+  const PowerModel pm = model();
+  SalvageOptions sopt;
+  sopt.pth = spec_for("c880").pth;
+  InsertionOptions iopt;
+  iopt.rare_p1 = 0.05;
+
+  const auto expect_same_suite = [](const DefenderSuite& a,
+                                    const DefenderSuite& b,
+                                    const std::string& label) {
+    ASSERT_EQ(a.algorithms.size(), b.algorithms.size()) << label;
+    for (std::size_t i = 0; i < a.algorithms.size(); ++i) {
+      EXPECT_TRUE(BitSimulator::responses_equal(a.algorithms[i].patterns,
+                                                b.algorithms[i].patterns))
+          << label << " algorithm " << a.algorithms[i].name;
+      EXPECT_TRUE(BitSimulator::responses_equal(a.algorithms[i].golden,
+                                                b.algorithms[i].golden))
+          << label << " algorithm " << a.algorithms[i].name;
+    }
+  };
+
+  // Baseline: event backend, legacy simulation path, sequential.
+  DefenderSuite base_suite;
+  SalvageResult s_base;
+  InsertionResult r_base;
+  {
+    const test::FaultModeGuard event(1);
+    const test::PlanModeGuard legacy(0);
+    base_suite = make_defender_suite(original, defender_defaults());
+    sopt.threads = 1;
+    iopt.threads = 1;
+    s_base = salvage_power_area(original, base_suite, pm, sopt);
+    r_base = insert_trojan(original, s_base, base_suite, pm, iopt);
+  }
+
+  struct Combo {
+    int fault_mode;
+    int plan_mode;
+    std::vector<std::size_t> threads;
+  };
+  const Combo combos[] = {
+      {2, 0, {1}},        // packed on the legacy path
+      {2, 1, {1, 2, 8}},  // packed on the compiled plan, every worker count
+      {1, 1, {8}},        // event on the compiled plan, parallel
+  };
+  for (const Combo& c : combos) {
+    const test::FaultModeGuard fguard(c.fault_mode);
+    const test::PlanModeGuard pguard(c.plan_mode);
+    const std::string base_label = "fault_mode=" + std::to_string(c.fault_mode) +
+                                   " plan=" + std::to_string(c.plan_mode);
+    const DefenderSuite suite =
+        make_defender_suite(original, defender_defaults());
+    expect_same_suite(suite, base_suite, base_label);
+    for (const std::size_t t : c.threads) {
+      const std::string label = base_label + " threads=" + std::to_string(t);
+      sopt.threads = t;
+      iopt.threads = t;
+      const SalvageResult st = salvage_power_area(original, suite, pm, sopt);
+      expect_same_salvage(s_base, st, label);
+      const InsertionResult rt = insert_trojan(original, st, suite, pm, iopt);
+      expect_same_insertion(r_base, rt, label);
+    }
+  }
+}
+
 TEST(EvalPlanFlow, HundredKGateBitIdentityAcrossModesAndThreads) {
   // The 100k-gate scale proof for the compiled-plan engines on a generated
   // circuit: a fixed random DAG ("rand100k", 100,000 gates) with a bounded

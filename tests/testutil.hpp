@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "atpg/fault_sim_backend.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/eval_plan.hpp"
 
@@ -24,6 +25,16 @@ struct PlanModeGuard {
   ~PlanModeGuard() { set_eval_plan_enabled(-1); }
   PlanModeGuard(const PlanModeGuard&) = delete;
   PlanModeGuard& operator=(const PlanModeGuard&) = delete;
+};
+
+// Forces the fault-simulation backend (0 = Auto, 1 = Event, 2 = Packed) for
+// the guarded scope and restores the TZ_FAULT_MODE environment default
+// afterwards — same RAII discipline as PlanModeGuard.
+struct FaultModeGuard {
+  explicit FaultModeGuard(int mode) { set_fault_sim_mode(mode); }
+  ~FaultModeGuard() { set_fault_sim_mode(-1); }
+  FaultModeGuard(const FaultModeGuard&) = delete;
+  FaultModeGuard& operator=(const FaultModeGuard&) = delete;
 };
 
 // Adds `n` primary inputs named <prefix>0 .. <prefix>{n-1}.

@@ -8,7 +8,12 @@
 // stable kebab-case check ids; the exit status is 1 if any target had
 // findings and 0 when everything is clean.
 //
-// Usage: tz_check [--allow-unread] [--no-plan] <bench-file-or-spec>...
+// --json switches stdout to one JSON array with an object per target
+// ({"target", "ok", "live_nodes"|"error", "report"}), the report embedding
+// the stable check-id keys — the machine-readable face CI diffs against.
+//
+// Usage: tz_check [--allow-unread] [--no-plan] [--json]
+//                 <bench-file-or-spec>...
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -27,12 +32,24 @@ bool is_file(const char* path) {
   return ::stat(path, &st) == 0 && S_ISREG(st.st_mode);
 }
 
+/// Escape a target name for embedding in the JSON output (paths can carry
+/// quotes/backslashes; violation messages are escaped by VerifyReport).
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+  return out;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: tz_check [--allow-unread] [--no-plan] "
+               "usage: tz_check [--allow-unread] [--no-plan] [--json] "
                "<bench-file-or-spec>...\n"
                "  --allow-unread  accept live gates with no readers\n"
                "  --no-plan       skip compiling and checking an EvalPlan\n"
+               "  --json          structured JSON report on stdout\n"
                "targets: a .bench file path, or any make_benchmark spec\n"
                "         (c432, c880, c1908, c3540, c6288, rand100k, "
                "mult32, ...)\n");
@@ -44,12 +61,15 @@ int usage() {
 int main(int argc, char** argv) {
   tz::NetlistCheckOptions nopt;
   bool with_plan = true;
+  bool json = false;
   std::vector<const char*> targets;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--allow-unread") == 0) {
       nopt.allow_unread_gates = true;
     } else if (std::strcmp(argv[i], "--no-plan") == 0) {
       with_plan = false;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (argv[i][0] == '-') {
       return usage();
     } else {
@@ -59,13 +79,22 @@ int main(int argc, char** argv) {
   if (targets.empty()) return usage();
 
   int dirty = 0;
+  bool first = true;
+  if (json) std::printf("[");
   for (const char* target : targets) {
+    if (json && !first) std::printf(",\n ");
+    first = false;
     tz::Netlist nl;
     try {
       nl = is_file(target) ? tz::read_bench_file(target)
                            : tz::make_benchmark(target);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "tz_check: %s: %s\n", target, e.what());
+      if (json) {
+        std::printf("{\"target\": \"%s\", \"ok\": false, \"error\": \"%s\"}",
+                    json_escape(target).c_str(), json_escape(e.what()).c_str());
+      } else {
+        std::fprintf(stderr, "tz_check: %s: %s\n", target, e.what());
+      }
       ++dirty;
       continue;
     }
@@ -83,7 +112,14 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (report.ok()) {
+    if (json) {
+      std::printf(
+          "{\"target\": \"%s\", \"ok\": %s, \"live_nodes\": %zu, "
+          "\"report\": %s}",
+          json_escape(target).c_str(), report.ok() ? "true" : "false",
+          nl.live_count(), report.to_json().c_str());
+      if (!report.ok()) ++dirty;
+    } else if (report.ok()) {
       std::printf("tz_check: %s: OK (%zu live nodes)\n", target,
                   nl.live_count());
     } else {
@@ -93,5 +129,6 @@ int main(int argc, char** argv) {
       ++dirty;
     }
   }
+  if (json) std::printf("]\n");
   return dirty > 0 ? 1 : 0;
 }
