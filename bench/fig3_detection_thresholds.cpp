@@ -5,17 +5,25 @@
 // Paper reference points: X  = 0.265% dynamic power (Rad et al. [10]),
 // Y1/Y2 = leakage thresholds (Potkonjak [11] / Chen [12]),
 // A1/A2/A3 = 0.7% / 1.95% / 0.58% area.
+//
+// The detector-threshold half runs directly on the golden netlist. The
+// TrojanZero half sources its FlowResult from the campaign engine ("fig3"
+// grid, JSON round-tripped) by default, or from a direct
+// run_trojanzero_flow call with `--legacy`; CI diffs the two outputs.
 #include <cmath>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
 
+#include "campaign/driver.hpp"
 #include "core/report.hpp"
 #include "detect/gate_characterization.hpp"
 #include "detect/power_trace.hpp"
 #include "detect/statistical_learning.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tz;
+  const bool legacy = argc > 1 && std::strcmp(argv[1], "--legacy") == 0;
   const Netlist golden = make_benchmark("c499");
   const PowerModel pm(CellLibrary::tsmc65_like());
   std::cout << std::fixed << std::setprecision(3);
@@ -34,7 +42,9 @@ int main() {
             << "% area-equivalent overhead needed (paper A2/A3: 1.95%/0.58%)\n";
 
   std::cout << "\n--- TrojanZero leaves no overhead to find ---\n";
-  const FlowResult r = run_trojanzero_flow("c499");
+  const FlowResult r =
+      legacy ? run_trojanzero_flow("c499")
+             : run_campaign_in_memory(CampaignGrid::preset("fig3")).front();
   if (r.insertion.success) {
     const double d_dyn = 100.0 * (r.p_npp.dynamic_uw - r.p_n.dynamic_uw) /
                          r.p_n.dynamic_uw;

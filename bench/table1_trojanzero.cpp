@@ -5,27 +5,55 @@
 // differ (synthetic 65nm library vs the authors' TSMC kit); the claims to
 // check are the *relationships*: P(N') < P(N'') <= P(N), A(N'') ~= A(N),
 // non-empty candidate/expendable sets, and rare trigger exposure.
+//
+// By default the rows come from the campaign engine (the "table1" grid run
+// through run_campaign_in_memory, which round-trips every result through the
+// JSON wire format — so this output is exactly what a merged campaign
+// artifact reproduces). `--legacy` runs the original per-circuit
+// run_trojanzero_flow loop instead; CI diffs the two modes byte-for-byte.
+#include <cstring>
 #include <iostream>
+#include <vector>
 
+#include "campaign/driver.hpp"
 #include "core/report.hpp"
 
-int main() {
+namespace {
+
+void print_row(std::ostream& os, const tz::FlowResult& r,
+               const tz::BenchmarkSpec& spec) {
+  tz::print_table1_row(os, r, spec);
+  if (!r.insertion.success) {
+    os << "  !! insertion failed (" << r.insertion.fail_build << "/"
+       << r.insertion.fail_test << "/" << r.insertion.fail_caps
+       << " build/test/cap rejections)\n";
+    return;
+  }
+  os << "  inserted " << r.insertion.ht_name << " at "
+     << r.insertion.victim_name << " with " << r.insertion.dummy_gates
+     << " dummy gate(s); "
+     << "ATPG coverage " << 100.0 * r.atpg_coverage << "% over "
+     << r.meta.suite_patterns.front() << " TPs; payload-fire Pft "
+     << r.pft_payload << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool legacy = argc > 1 && std::strcmp(argv[1], "--legacy") == 0;
   std::cout << "=== Table I: TrojanZero analysis (measured vs paper) ===\n";
-  for (const tz::BenchmarkSpec& spec : tz::iscas85_specs()) {
-    const tz::FlowResult r = tz::run_trojanzero_flow(spec.name);
-    tz::print_table1_row(std::cout, r, spec);
-    if (!r.insertion.success) {
-      std::cout << "  !! insertion failed (" << r.insertion.fail_build << "/"
-                << r.insertion.fail_test << "/" << r.insertion.fail_caps
-                << " build/test/cap rejections)\n";
-      continue;
+  if (legacy) {
+    for (const tz::BenchmarkSpec& spec : tz::iscas85_specs()) {
+      print_row(std::cout, tz::run_trojanzero_flow(spec.name), spec);
     }
-    std::cout << "  inserted " << r.insertion.ht_name << " at "
-              << r.insertion.victim_name << " with "
-              << r.insertion.dummy_gates << " dummy gate(s); "
-              << "ATPG coverage " << 100.0 * r.atpg_coverage << "% over "
-              << r.suite.algorithms.front().patterns.num_patterns()
-              << " TPs; payload-fire Pft " << r.pft_payload << "\n";
+  } else {
+    // Grid order == iscas85_specs() order, so results line up with specs.
+    const std::vector<tz::FlowResult> results =
+        tz::run_campaign_in_memory(tz::CampaignGrid::preset("table1"));
+    std::size_t i = 0;
+    for (const tz::BenchmarkSpec& spec : tz::iscas85_specs()) {
+      print_row(std::cout, results[i++], spec);
+    }
   }
   std::cout << "\nColumns: C = candidate gates at Pth, Eg = gates salvaged,\n"
                "P/A triples = HT-free / modified / TZ-infected, Pft = trigger\n"

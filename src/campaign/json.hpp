@@ -1,0 +1,114 @@
+// Minimal deterministic JSON value, parser and serializer for the campaign
+// wire format (src/campaign/).
+//
+// The campaign engine needs a durable, diffable result format: per-shard
+// JSONL checkpoint files and a canonically-ordered merged artifact whose
+// bytes are identical regardless of shard count or thread count. That byte
+// contract rules out any serializer with unspecified member order or
+// locale-dependent number formatting, and the no-new-dependencies rule rules
+// out vendoring one — so this is a deliberately small, deterministic JSON:
+//
+//  - Objects are insertion-ordered vectors of (key, value) pairs; dump()
+//    emits members exactly in insertion order. parse() preserves input
+//    order, so parse→dump round-trips byte-identically for the documents we
+//    produce.
+//  - Numbers are either Int64 (emitted as decimal integers) or Double
+//    (emitted via std::to_chars shortest round-trip, locale-independent;
+//    from_chars parses them back exactly).
+//  - Strings escape the two mandatory characters plus control bytes; no
+//    \uXXXX generation for non-ASCII (payloads are ASCII identifiers).
+//
+// This is not a general-purpose JSON library: no comments, no trailing
+// commas, UTF-16 surrogate escapes are passed through as raw \u text. It is
+// exactly what the campaign layer's own writers emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace tz {
+
+class Json;
+
+/// Insertion-ordered object representation: dump order == append order.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  Json() : type_(Type::Null) {}
+  Json(std::nullptr_t) : type_(Type::Null) {}
+  Json(bool b) : type_(Type::Bool), bool_(b) {}
+  /// One constrained template covers every integer width (int, unsigned,
+  /// int64_t, size_t, ...) without the overload ambiguities fixed-width
+  /// constructors hit across platforms. bool has its own overload above.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  Json(T v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::Double), dbl_(v) {}
+  Json(const char* s) : type_(Type::String), str_(s) {}
+  Json(std::string s) : type_(Type::String), str_(std::move(s)) {}
+  Json(std::string_view s) : type_(Type::String), str_(s) {}
+  Json(JsonArray a) : type_(Type::Array), arr_(std::move(a)) {}
+  Json(JsonObject o) : type_(Type::Object), obj_(std::move(o)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_object() const { return type_ == Type::Object; }
+  bool is_array() const { return type_ == Type::Array; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch so a
+  /// malformed checkpoint row fails loudly instead of decaying to zeros.
+  bool as_bool() const;
+  std::int64_t as_int() const;
+  double as_double() const;  ///< Accepts Int too (JSON has one number type).
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  const JsonObject& as_object() const;
+
+  /// Object member lookup; throws when absent (get) or returns nullptr
+  /// (find). The mutable overload is how writers patch a parsed row in
+  /// place (e.g. the merge normalizing wall_ms) without disturbing member
+  /// order.
+  const Json& get(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+  Json* find(std::string_view key);
+
+  /// Object append (creates/overwrites nothing — campaign writers never
+  /// write a key twice; duplicate appends would serialize both).
+  void set(std::string key, Json value);
+
+  /// Deterministic serialization: insertion-ordered members, to_chars
+  /// numbers, no whitespace.
+  std::string dump() const;
+  void dump_to(std::string& out) const;
+
+  /// Strict recursive-descent parse of one JSON document; throws
+  /// std::runtime_error with a byte offset on malformed input.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  JsonArray arr_;
+  JsonObject obj_;
+};
+
+/// Escape + quote one JSON string (the dump() primitive, exposed for
+/// streaming writers that emit rows without building a Json tree).
+void json_escape_to(std::string_view s, std::string& out);
+
+/// Deterministic double formatting: std::to_chars shortest round-trip, with
+/// non-finite values mapped to null (JSON has no Inf/NaN).
+void json_number_to(double v, std::string& out);
+
+}  // namespace tz

@@ -23,6 +23,10 @@ ConeScratch::ConeScratch(const SuiteOracle& core) : worklist_(core.rank_) {}
 // --------------------------------------------------------------- SuiteOracle
 
 SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
+    : SuiteOracle(nl, suite, nullptr) {}
+
+SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite,
+                         const SuiteOracle* seed)
     : nl_(&nl), suite_(&suite) {
   sequential_ = !nl.dffs().empty();
   for (const DefenderTestSet& ts : suite.algorithms) {
@@ -34,7 +38,59 @@ SuiteOracle::SuiteOracle(const Netlist& nl, const DefenderSuite& suite)
     }
   }
   if (sequential_) return;
+  if (seed != nullptr && seed_compatible(*seed)) {
+    clone_from(*seed);
+    seeded_ = true;
+    return;
+  }
+  build_caches();
+}
 
+bool SuiteOracle::seed_compatible(const SuiteOracle& seed) const {
+  // The caller's contract is that the seed was built on a structurally
+  // identical netlist with the same suite; these guards catch the obvious
+  // mismatches (different circuit, different suite shape, different
+  // TZ_EVAL_PLAN mode mid-campaign) and fall back to a full build rather
+  // than serving stale rows.
+  if (seed.sequential_) return false;
+  if ((seed.plan_ != nullptr) != eval_plan_enabled()) return false;
+  if (seed.nl_->raw_size() != nl_->raw_size() ||
+      seed.nl_->live_count() != nl_->live_count()) {
+    return false;
+  }
+  if (seed.recorded_po_ != nl_->outputs()) return false;
+  if (seed.suite_ != suite_) {
+    if (seed.suite_->algorithms.size() != suite_->algorithms.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < suite_->algorithms.size(); ++i) {
+      if (seed.suite_->algorithms[i].patterns.num_patterns() !=
+          suite_->algorithms[i].patterns.num_patterns()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void SuiteOracle::clone_from(const SuiteOracle& seed) {
+  node_cap_ = seed.node_cap_;
+  cap_ = seed.cap_;
+  words_ = seed.words_;
+  segs_ = seed.segs_;
+  valid_ = seed.valid_;
+  rows_ = seed.rows_;
+  golden_ = seed.golden_;
+  recorded_po_ = seed.recorded_po_;
+  rank_ = seed.rank_;
+  // The plan is patched in place by resync_structure, so every clone gets
+  // its own deep copy; the seed's plan stays pristine for the next job.
+  if (seed.plan_) plan_ = std::make_shared<EvalPlan>(*seed.plan_);
+}
+
+void SuiteOracle::build_caches() {
+  const Netlist& nl = *nl_;
+  const DefenderSuite& suite = *suite_;
   node_cap_ = nl.raw_size();
   if (eval_plan_enabled()) {
     // Compiled path: one plan shared with the seeding simulator, so cached
@@ -369,7 +425,9 @@ bool SuiteOracle::ht_visible(std::span<const NodeId> trigger_nets,
 
 SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
   SalvageResult result;
-  result.power_before = pm_->analyze(*original_).totals;
+  result.power_before = (shared_ != nullptr && shared_->golden_totals)
+                            ? *shared_->golden_totals
+                            : pm_->analyze(*original_).totals;
 
   Netlist work = original_->compact();
   const SignalProb sp(work);
@@ -386,7 +444,13 @@ SalvageResult FlowEngine::salvage(const SalvageOptions& opt) {
                      });
   }
 
-  SuiteOracle oracle(work, *suite_);
+  // Campaign path: clone the shared per-circuit oracle instead of
+  // re-simulating the whole suite. `work` is original_->compact(), and the
+  // store built its seed on the same deterministic compact() of the same
+  // netlist, so the seed's slot-major row cache carries over id-for-id; the
+  // clone falls back to a full build when anything disagrees.
+  SuiteOracle oracle(work, *suite_,
+                     shared_ != nullptr ? shared_->salvage_oracle : nullptr);
   // TZ_CHECK boundary checks: NetlistChecker after every commit/rollback,
   // PlanChecker (with the patched-vs-recompiled equivalence diff) whenever
   // the oracle holds a compiled plan. Captured once — the gate must not
@@ -616,7 +680,9 @@ std::size_t balance_with_dummies(Netlist& nl, PowerTracker& tracker,
 InsertionResult FlowEngine::insert(const SalvageResult& salvaged,
                                    const InsertionOptions& opt) {
   InsertionResult result;
-  result.threshold = pm_->analyze(*original_).totals;
+  result.threshold = (shared_ != nullptr && shared_->golden_totals)
+                         ? *shared_->golden_totals
+                         : pm_->analyze(*original_).totals;
 
   std::vector<TrojanDesc> library =
       opt.library.empty() ? default_ht_library() : opt.library;

@@ -101,10 +101,26 @@ class SuiteOracle {
  public:
   SuiteOracle(const Netlist& nl, const DefenderSuite& suite);
 
+  /// Seeded construction for the campaign artifact layer: when `seed` was
+  /// built for a structurally identical netlist (same raw node ids, same
+  /// recorded outputs, same suite shape and eval-plan mode), the cached rows,
+  /// golden responses and compiled plan are cloned from it instead of
+  /// re-simulating the whole suite — the copy-on-write handoff from a shared
+  /// per-circuit artifact into this job's mutable flow. The clone deep-copies
+  /// the plan (resync_structure patches it in place) and all row caches, so
+  /// the seed stays const and may be shared by any number of concurrent
+  /// clones. Falls back to the full build when the seed does not match or is
+  /// null; seeded() reports which path ran.
+  SuiteOracle(const Netlist& nl, const DefenderSuite& suite,
+              const SuiteOracle* seed);
+
   // The built-in scratch references this instance's rank vector; a copy or
   // move would leave it pointing into the source object.
   SuiteOracle(const SuiteOracle&) = delete;
   SuiteOracle& operator=(const SuiteOracle&) = delete;
+
+  /// True when this oracle was cloned from a compatible seed.
+  bool seeded() const { return seeded_; }
 
   bool sequential() const { return sequential_; }
 
@@ -146,6 +162,14 @@ class SuiteOracle {
  private:
   friend class ConeScratch;
 
+  /// Full construction: simulate every defender set on `nl_` and cache the
+  /// fused rows (the expensive path the seeded constructor avoids).
+  void build_caches();
+  /// True when `seed`'s cached state is valid for nl_/suite_ as-is.
+  bool seed_compatible(const SuiteOracle& seed) const;
+  /// Deep-copy the seed's cached state (plan cloned, rows copied).
+  void clone_from(const SuiteOracle& seed);
+
   /// One defender test set's lane range inside the fused rows.
   struct SetSegment {
     std::size_t offset = 0;    ///< First fused word of this set.
@@ -186,6 +210,7 @@ class SuiteOracle {
   const Netlist* nl_;
   const DefenderSuite* suite_;
   bool sequential_ = false;
+  bool seeded_ = false;
   std::shared_ptr<EvalPlan> plan_;  ///< nullptr = legacy Node-walking path
   std::size_t cap_ = 0;       ///< row-index capacity of rows/scratch
   std::size_t node_cap_ = 0;  ///< raw node ids covered by grow()
@@ -207,6 +232,21 @@ class SuiteOracle {
   ConeScratch self_{*this};  ///< scratch for the single-threaded API
 };
 
+/// Const references into a shared per-circuit artifact bundle
+/// (campaign/artifacts.hpp) that let a FlowEngine skip rebuilding work that
+/// is identical for every job on the same circuit. Everything here is
+/// optional: a null member means "compute it yourself", and the engine
+/// treats every member as immutable — jobs clone what they mutate (the
+/// oracle seed is deep-copied by SuiteOracle's seeded constructor).
+struct FlowSharedInputs {
+  /// Oracle built on the circuit's compacted netlist + this job's suite;
+  /// seeds the salvage-phase SuiteOracle clone.
+  const SuiteOracle* salvage_oracle = nullptr;
+  /// Golden power/area totals of N (the salvage baseline and Algorithm 2
+  /// caps), from the store's one-time analysis.
+  const PowerReport* golden_totals = nullptr;
+};
+
 /// One engine per (original netlist, defender suite, power model) triple;
 /// runs both algorithms incrementally.
 class FlowEngine {
@@ -214,6 +254,12 @@ class FlowEngine {
   FlowEngine(const Netlist& original, const DefenderSuite& suite,
              const PowerModel& pm)
       : original_(&original), suite_(&suite), pm_(&pm) {}
+
+  /// Attach shared artifacts (campaign path). `shared` must outlive the
+  /// engine; pass nullptr to detach. Results are bit-identical with and
+  /// without sharing — the A/B test in tests/campaign_test.cpp holds the
+  /// engine to that.
+  void set_shared(const FlowSharedInputs* shared) { shared_ = shared; }
 
   /// Algorithm 1 on a SuiteOracle: tie, O(cone) recheck, undo-log revert.
   /// With opt.threads resolving to > 1, upcoming candidates are screened
@@ -235,6 +281,7 @@ class FlowEngine {
   const Netlist* original_;
   const DefenderSuite* suite_;
   const PowerModel* pm_;
+  const FlowSharedInputs* shared_ = nullptr;
 };
 
 /// Greedy dummy-gate balancing on tracker deltas (paper Sec. IV-4). Adds

@@ -1,110 +1,22 @@
 #include "core/report.hpp"
 
 #include <iomanip>
-#include <iostream>
 #include <ostream>
-
-#include "core/flow_engine.hpp"
-#include "core/trigger_prob.hpp"
-#include "verify/verify.hpp"
 
 namespace tz {
 
-namespace {
-
-/// Flow-boundary diagnostics: name the corrupted invariant on stderr before
-/// the VerifyError unwinds, so a broken structure surfaces at the mutation
-/// that caused it instead of as a bit-mismatch deep inside an engine.
-[[noreturn]] void report_and_rethrow(const VerifyError& e) {
-  std::cerr << "trojanzero: invariant check failed at " << e.phase() << ":\n"
-            << e.report().format();
-  throw;
-}
-
-}  // namespace
-
-FlowResult run_trojanzero_flow(const std::string& benchmark_name,
-                               FlowOptions options) {
-  FlowResult r;
-  r.benchmark = benchmark_name;
-  r.original = make_benchmark(benchmark_name);
-  if (check_enabled()) {
-    // Gate the flow on a clean input: a generator/parser defect is reported
-    // here, not attributed to the first salvage commit downstream.
-    verify_or_throw(r.original, nullptr, "flow input");
-  }
-
-  const PowerModel pm(CellLibrary::tsmc65_like());
-
-  // Phase (a): defender test patterns + HT-free thresholds.
-  r.suite = make_defender_suite(r.original, options.testgen);
-  r.atpg_coverage = r.suite.algorithms.front().coverage.coverage();
-  r.p_n = pm.analyze(r.original).totals;
-
-  FlowEngine engine(r.original, r.suite, pm);
-
-  // Phase (b): Algorithm 1.
-  SalvageOptions sopt;
-  sopt.pth = options.pth;
-  sopt.order = options.order;
-  try {
-    r.salvage = engine.salvage(sopt);
-  } catch (const VerifyError& e) {
-    report_and_rethrow(e);
-  }
-  r.p_np = r.salvage.power_after;
-
-  // Phase (c): Algorithm 2. The library starts with the Table I counter for
-  // this circuit and falls back to smaller HTs when the salvaged budget
-  // cannot fund it (Algorithm 2 line 16: "selecting another HT").
-  InsertionOptions iopt = options.insertion;
-  if (iopt.library.empty()) {
-    for (int bits = options.counter_bits; bits >= 2; --bits) {
-      iopt.library.push_back(counter_trojan(bits));
-    }
-    iopt.library.push_back(counter_trojan(0));  // comparator trigger
-  }
-  try {
-    r.insertion = engine.insert(r.salvage, iopt);
-  } catch (const VerifyError& e) {
-    report_and_rethrow(e);
-  }
-  r.p_npp = r.insertion.power;
-
-  // Pft over the defender's total pattern count — only when an HT was
-  // actually placed; a failed insertion reports zero exposure instead of a
-  // row fabricated from a default-constructed descriptor.
-  if (r.insertion.success) {
-    std::size_t test_len = 0;
-    for (const DefenderTestSet& ts : r.suite.algorithms) {
-      test_len += ts.patterns.num_patterns();
-    }
-    r.pft = analytic_pft(r.insertion.trigger_p1, test_len, 0);
-    r.pft_payload = analytic_pft(r.insertion.trigger_p1, test_len,
-                                 r.insertion.ht_desc.counter_bits);
-  }
-  return r;
-}
-
-FlowResult run_trojanzero_flow(const std::string& benchmark_name) {
-  FlowOptions opt;
-  if (benchmark_name != "c17") {
-    const BenchmarkSpec& spec = spec_for(benchmark_name);
-    opt.pth = spec.pth;
-    opt.counter_bits = spec.counter_bits;
-  } else {
-    opt.pth = 0.9;
-    opt.counter_bits = 2;
-  }
-  return run_trojanzero_flow(benchmark_name, opt);
-}
+// run_trojanzero_flow is defined in campaign/job.cpp since the campaign
+// refactor: it is a one-job campaign (cold ArtifactStore + run_flow_job).
+// This TU keeps the presentation layer, which reads only serializable
+// fields (FlowMeta + scalar results) so a FlowResult deserialized from a
+// campaign JSONL row prints exactly like a freshly computed one.
 
 void print_table1_row(std::ostream& os, const FlowResult& r,
                       const BenchmarkSpec& paper) {
   const auto flags = os.flags();
   os << std::left << std::setw(7) << r.benchmark << std::right << std::fixed
      << std::setprecision(1);
-  os << " gates " << std::setw(5) << r.original.gate_count() << " (paper "
+  os << " gates " << std::setw(5) << r.meta.gates << " (paper "
      << paper.paper_gates << ")";
   os << " | Pth " << std::setprecision(4) << paper.pth;
   os << " | C " << std::setw(3) << r.salvage.candidates << " (paper "

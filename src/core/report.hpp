@@ -1,8 +1,11 @@
 // End-to-end TrojanZero flow (Fig. 2 / Fig. 6) and reporting helpers.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "atpg/test_set.hpp"
 #include "core/insertion.hpp"
@@ -22,6 +25,10 @@ struct FlowOptions {
   TestGenOptions testgen = atpg_only_defender();
   InsertionOptions insertion;  ///< Algorithm 2 configuration.
   SalvageOptions::Order order = SalvageOptions::Order::ByProbability;
+  /// Worker threads for both candidate scans (0 = TZ_THREADS env, else the
+  /// effective CPU count). Campaign jobs pin this to 1 and parallelize
+  /// across jobs instead; results are bit-identical either way.
+  std::size_t threads = 0;
 
   static TestGenOptions atpg_only_defender() {
     TestGenOptions t;
@@ -33,9 +40,34 @@ struct FlowOptions {
   }
 };
 
+/// Self-describing provenance stamped onto every FlowResult: what ran, with
+/// which engine modes, and how long it took. These fields (not the Netlist
+/// members) are what the campaign wire format serializes, so a JSONL row
+/// read back on another machine still prints the same Table-I line.
+struct FlowMeta {
+  std::string circuit;          ///< make_benchmark name.
+  std::uint64_t seed = 0;       ///< Defender testgen seed actually used.
+  std::size_t gates = 0;        ///< Gate count of N (post synthesis-clean).
+  std::size_t inputs = 0;       ///< Primary inputs of N.
+  std::size_t outputs = 0;      ///< Primary outputs of N.
+  /// Per-defender-algorithm pattern counts, suite order.
+  std::vector<std::size_t> suite_patterns;
+  bool eval_plan = true;        ///< TZ_EVAL_PLAN mode the flow ran under.
+  std::string fault_mode;       ///< Resolved FaultSimMode ("auto"/...).
+  std::size_t threads = 0;      ///< Resolved worker count for the scans.
+  double wall_ms = 0.0;         ///< End-to-end job wall time (volatile).
+
+  std::size_t total_patterns() const {
+    std::size_t n = 0;
+    for (const std::size_t p : suite_patterns) n += p;
+    return n;
+  }
+};
+
 /// Everything one Table I row needs.
 struct FlowResult {
   std::string benchmark;
+  FlowMeta meta;       ///< Provenance + engine-mode stamp (serialized).
   Netlist original;    ///< N.
   DefenderSuite suite;
   SalvageResult salvage;      ///< Holds N' and Algorithm 1 stats.
@@ -53,6 +85,9 @@ struct FlowResult {
 /// Run the complete TrojanZero flow per Fig. 2: verify N, compute thresholds,
 /// run Algorithm 1 and Algorithm 2, and evaluate Pft. `options.pth` and
 /// `counter_bits` default from the Table I spec when the benchmark is known.
+/// Since the campaign refactor this is a convenience wrapper over the job
+/// layer (campaign/job.hpp): one cold ArtifactStore build + run_flow_job.
+/// The definition lives in campaign/job.cpp.
 FlowResult run_trojanzero_flow(const std::string& benchmark_name,
                                FlowOptions options);
 

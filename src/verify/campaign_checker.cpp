@@ -1,0 +1,111 @@
+// CampaignChecker: scheduling invariants of the campaign driver
+// (campaign/driver.hpp), validated over a plain-data CampaignView snapshot.
+//
+// The driver's byte-identity contract ("the merged artifact does not depend
+// on shard count, thread count or interruptions") rests on three structural
+// facts this checker pins down independently of the code that maintains
+// them: the deterministic job->shard map is a partition of the expanded
+// grid, each shard's JSONL checkpoint only ever accumulates well-formed
+// rows for its own jobs (append-only, no duplicates — the resume path's
+// skip-completed set is only sound under exactly this), and the merged
+// artifact is a bijection with the grid. Everything is string/index
+// comparisons over the view: O(total rows) with a hash set.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "verify/verify.hpp"
+
+namespace tz {
+
+VerifyReport CampaignChecker::run(const CampaignView& view) {
+  VerifyReport report;
+
+  // ---- CampPartition: assignment covers every job exactly once, in range.
+  if (view.job_shard.size() != view.job_ids.size()) {
+    report.add(CheckId::CampPartition,
+               "assignment size " + std::to_string(view.job_shard.size()) +
+                   " != job count " + std::to_string(view.job_ids.size()));
+  }
+  std::unordered_map<std::string, std::size_t> id_to_shard;
+  id_to_shard.reserve(view.job_ids.size());
+  for (std::size_t i = 0; i < view.job_ids.size(); ++i) {
+    const std::string& id = view.job_ids[i];
+    const std::size_t shard =
+        i < view.job_shard.size() ? view.job_shard[i] : 0;
+    if (i < view.job_shard.size() && shard >= view.num_shards) {
+      report.add(CheckId::CampPartition,
+                 "job '" + id + "' assigned to shard " +
+                     std::to_string(shard) + " of " +
+                     std::to_string(view.num_shards));
+    }
+    if (!id_to_shard.emplace(id, shard).second) {
+      report.add(CheckId::CampPartition,
+                 "job id '" + id + "' expanded more than once");
+    }
+  }
+
+  // ---- CampShardRows: each checkpoint file holds parseable, owned,
+  // first-seen rows. Duplicates across files are also a shard-rows failure
+  // (the same completed job must never be recorded by two shards).
+  std::unordered_set<std::string> seen_rows;
+  for (std::size_t s = 0; s < view.shard_rows.size(); ++s) {
+    if (s >= view.num_shards) {
+      report.add(CheckId::CampShardRows,
+                 "checkpoint file for shard " + std::to_string(s) +
+                     " but only " + std::to_string(view.num_shards) +
+                     " shards");
+      continue;
+    }
+    for (const std::string& id : view.shard_rows[s]) {
+      if (id.empty()) {
+        report.add(CheckId::CampShardRows,
+                   "shard " + std::to_string(s) + " has an unparseable row");
+        continue;
+      }
+      const auto it = id_to_shard.find(id);
+      if (it == id_to_shard.end()) {
+        report.add(CheckId::CampShardRows,
+                   "shard " + std::to_string(s) + " row '" + id +
+                       "' is not an expanded job");
+        continue;
+      }
+      if (it->second != s) {
+        report.add(CheckId::CampShardRows,
+                   "row '" + id + "' recorded by shard " + std::to_string(s) +
+                       " but assigned to shard " + std::to_string(it->second));
+      }
+      if (!seen_rows.insert(id).second) {
+        report.add(CheckId::CampShardRows,
+                   "row '" + id + "' recorded more than once");
+      }
+    }
+  }
+
+  // ---- Merged artifact: bijection with the expanded grid.
+  if (view.check_merged) {
+    std::unordered_set<std::string> merged;
+    merged.reserve(view.merged_ids.size());
+    for (const std::string& id : view.merged_ids) {
+      if (id_to_shard.find(id) == id_to_shard.end()) {
+        report.add(CheckId::CampMergeDuplicate,
+                   "merged row '" + id + "' is not an expanded job");
+        continue;
+      }
+      if (!merged.insert(id).second) {
+        report.add(CheckId::CampMergeDuplicate,
+                   "merged artifact carries '" + id + "' more than once");
+      }
+    }
+    for (const std::string& id : view.job_ids) {
+      if (merged.find(id) == merged.end()) {
+        report.add(CheckId::CampMergeMissing,
+                   "merged artifact is missing '" + id + "'");
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace tz

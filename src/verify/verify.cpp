@@ -32,6 +32,10 @@ std::string_view to_string(CheckId id) {
     case CheckId::PackSiteSlot: return "pack-site-slot";
     case CheckId::PackLaneBleed: return "pack-lane-bleed";
     case CheckId::PackLaneBijection: return "pack-lane-bijection";
+    case CheckId::CampPartition: return "camp-partition";
+    case CheckId::CampShardRows: return "camp-shard-rows";
+    case CheckId::CampMergeDuplicate: return "camp-merge-duplicate";
+    case CheckId::CampMergeMissing: return "camp-merge-missing";
   }
   return "unknown-check";
 }

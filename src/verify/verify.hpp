@@ -73,6 +73,11 @@ enum class CheckId : std::uint8_t {
   PackSiteSlot,       ///< Injection site/mask disagrees with the fault lane.
   PackLaneBleed,      ///< Forcing masks overlap or touch non-live lanes.
   PackLaneBijection,  ///< Live lanes <-> undropped faults not a bijection.
+  // CampaignChecker
+  CampPartition,      ///< Job->shard assignment is not a partition.
+  CampShardRows,      ///< A shard checkpoint file is not append-consistent.
+  CampMergeDuplicate, ///< Merged artifact carries a job id more than once.
+  CampMergeMissing,   ///< Merged artifact is missing an expanded job id.
 };
 
 /// Stable kebab-case id, e.g. "net-dangling-fanin".
@@ -169,6 +174,38 @@ struct FaultPackBatch {
 class FaultPackChecker {
  public:
   static VerifyReport run(const FaultPackBatch& batch);
+};
+
+/// A structural snapshot of one campaign's scheduling state
+/// (campaign/driver.hpp): the canonical job expansion, the deterministic
+/// job->shard assignment, what each shard's JSONL checkpoint file actually
+/// contains, and (optionally) the merged artifact's row ids. Plain strings
+/// and indices only — the checker stays independent of the campaign types,
+/// mirroring FaultPackBatch. Spans alias the driver's buffers and are valid
+/// only for the duration of the run() call.
+struct CampaignView {
+  std::size_t num_shards = 0;
+  /// Canonical job ids, grid-expansion order (the merge order).
+  std::span<const std::string> job_ids;
+  /// Parallel to job_ids: the shard each job was assigned to.
+  std::span<const std::size_t> job_shard;
+  /// Per shard: row ids in checkpoint-file order. An empty string marks a
+  /// row that failed to parse (the driver's torn-tail sentinel).
+  std::span<const std::vector<std::string>> shard_rows;
+  /// Merged artifact row ids in artifact order; checked only when
+  /// check_merged is set (a running campaign has no merged artifact yet).
+  std::span<const std::string> merged_ids;
+  bool check_merged = false;
+};
+
+/// Validates campaign scheduling invariants: the job->shard assignment is a
+/// partition of the expanded grid (CampPartition), every shard checkpoint
+/// row parses, belongs to that shard and appears exactly once across all
+/// shards (CampShardRows), and the merged artifact carries every expanded
+/// job id exactly once (CampMergeDuplicate / CampMergeMissing).
+class CampaignChecker {
+ public:
+  static VerifyReport run(const CampaignView& view);
 };
 
 /// Validates a NodeValues matrix's layout bookkeeping against its plan

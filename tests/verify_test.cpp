@@ -2,7 +2,8 @@
 // plants exactly that defect (via the friend test peers) and asserts the
 // checker names it, plus zero-violation gates over the real benchmarks and a
 // checked-vs-unchecked salvage A/B proving the TZ_CHECK hooks are pure
-// observers (bit-identical flow results).
+// observers (bit-identical flow results). The Camp* CheckIds are covered by
+// their own corruption tests in campaign_test.cpp next to the driver tests.
 #include <gtest/gtest.h>
 
 #include <algorithm>
