@@ -19,6 +19,8 @@
 #include "gen/iscas.hpp"
 #include "prob/signal_prob.hpp"
 #include "sat/equivalence.hpp"
+#include "sat/legacy_solver.hpp"
+#include "sat/miter.hpp"
 #include "sim/eval_plan.hpp"
 #include "sim/simulator.hpp"
 #include "verify/verify.hpp"
@@ -257,14 +259,121 @@ void BM_AtpgFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_AtpgFlow)->Unit(benchmark::kMillisecond);
 
-void BM_SatEquivalence(benchmark::State& state) {
+// Same-run A/B between the retired monolithic SAT core (kept verbatim under
+// sat::legacy) and the arena CDCL solver driving the incremental cone-sliced
+// miter, both proving the c880 self-miter UNSAT. The `search` row keeps the
+// comparison honest: structural matching and the simulation pre-pass are
+// disabled, so every output pair is proved by actual CDCL search over the
+// same Tseitin structure the legacy monolithic miter solves in one shot —
+// the win measured is the solver core (watched literals with blockers,
+// dedicated binary lists, VSIDS heap, first-UIP + minimization, restarts,
+// LBD-kept learnts) plus the per-output slicing, not the shortcuts. The
+// `production` row is the default check_equivalence configuration with all
+// accelerations on.
+void BM_SatEquivalence(benchmark::State& state, int mode) {
   const tz::Netlist& nl = circuit("c880");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(tz::sat::check_equivalence(nl, nl));
+    if (mode == 0) {
+      benchmark::DoNotOptimize(tz::sat::legacy::check_equivalence(nl, nl));
+    } else {
+      tz::sat::MiterOptions opts;
+      opts.prepass = mode == 2;
+      opts.structural_match = mode == 2;
+      tz::sat::IncrementalMiter miter(nl, nl, opts);
+      benchmark::DoNotOptimize(miter.check());
+    }
   }
   state.SetLabel("self-miter UNSAT");
 }
-BENCHMARK(BM_SatEquivalence)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SatEquivalence, legacy, 0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SatEquivalence, search, 1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SatEquivalence, production, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Equivalence checking at 100k-gate scale, the regime the monolithic miter
+// could not touch (its one-shot CNF over two full copies never returns).
+//
+// `rewritten_unsat` is the salvage-shaped UNSAT case: rand100k against a
+// copy with 32 local DeMorgan rewrites (And(a,b) -> Nor(~a,~b)) spread
+// through the circuit. Structural matching shares everything outside the
+// rewrite cones, the bounded sweep queries re-merge the frontiers just
+// above each rewrite, and the per-output checks ride the shared variables —
+// the whole proof is a few thousand tiny UNSAT calls instead of one
+// monolithic solve.
+//
+// `edited_sat` is the witness case: one mid-circuit gate negated. The
+// simulation pre-pass is disabled so the row times the SAT path — cones are
+// encoded output by output in topo order until the first affected output
+// yields a model, which becomes the replayable counterexample.
+const tz::Netlist& rand100k_rewritten() {
+  static const tz::Netlist rewritten = [] {
+    tz::Netlist nl = circuit("rand100k");
+    std::vector<tz::NodeId> ands;
+    for (const tz::NodeId id : nl.topo_order()) {
+      if (nl.node(id).type == tz::GateType::And &&
+          nl.node(id).fanin.size() == 2) {
+        ands.push_back(id);
+      }
+    }
+    const std::size_t step = std::max<std::size_t>(1, ands.size() / 32);
+    int done = 0;
+    for (std::size_t i = 0; i < ands.size() && done < 32; i += step, ++done) {
+      const tz::NodeId g = ands[i];
+      const auto fan = nl.node(g).fanin;
+      const std::string tag = "dm" + std::to_string(done);
+      const tz::NodeId na =
+          nl.add_gate(tz::GateType::Not, tag + "_a", {fan[0]});
+      const tz::NodeId nb =
+          nl.add_gate(tz::GateType::Not, tag + "_b", {fan[1]});
+      const tz::NodeId ng =
+          nl.add_gate(tz::GateType::Nor, tag + "_g", {na, nb});
+      nl.replace_uses(g, ng);
+      nl.remove_node(g);
+    }
+    return nl;
+  }();
+  return rewritten;
+}
+
+const tz::Netlist& rand100k_edited() {
+  static const tz::Netlist edited = [] {
+    tz::Netlist nl = circuit("rand100k");
+    const std::vector<tz::NodeId> order = nl.topo_order();
+    for (std::size_t i = order.size() / 2; i < order.size(); ++i) {
+      if (nl.node(order[i]).type == tz::GateType::And) {
+        nl.retype(order[i], tz::GateType::Nand);
+        break;
+      }
+    }
+    return nl;
+  }();
+  return edited;
+}
+
+void BM_SatEquivalence100k(benchmark::State& state, bool unsat_case) {
+  const tz::Netlist& nl = circuit("rand100k");
+  const tz::Netlist& other =
+      unsat_case ? rand100k_rewritten() : rand100k_edited();
+  for (auto _ : state) {
+    tz::sat::MiterOptions opts;
+    opts.prepass = false;  // time the SAT path, not the simulator
+    tz::sat::IncrementalMiter miter(nl, other, opts);
+    const tz::sat::EquivalenceResult res = miter.check();
+    if (res.equivalent != unsat_case || !res.decided) {
+      state.SkipWithError("wrong verdict");
+      break;
+    }
+    benchmark::DoNotOptimize(res);
+  }
+  state.SetLabel(unsat_case ? "32 DeMorgan rewrites proved equal"
+                            : "1 negated gate, witness found");
+}
+BENCHMARK_CAPTURE(BM_SatEquivalence100k, rewritten_unsat, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SatEquivalence100k, edited_sat, false)
+    ->Unit(benchmark::kMillisecond);
 
 // ---- TrojanZero flow phases on the incremental FlowEngine ----
 // The defender suite and salvage result are built once per circuit so the

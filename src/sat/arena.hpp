@@ -1,0 +1,111 @@
+// Flat clause arena: every clause lives in one contiguous uint32_t buffer.
+//
+// Replaces the seed solver's std::vector<Clause> (one heap allocation and two
+// pointer chases per clause) with offset-addressed storage:
+//
+//   word 0            header: (size << 2) | (reloc << 1) | learnt
+//   word 1..2         learnt only: LBD, activity (float bit pattern)
+//   word h..h+size-1  literals, stored as Lit::x
+//
+// A ClauseRef is the word offset of the header. Freeing only accounts the
+// words as wasted; garbage_collect() copies the live clauses into a fresh
+// arena (callers relocate their refs through reloc(), which installs a
+// forward pointer in the old header so shared refs converge).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace tz::sat {
+
+using ClauseRef = std::uint32_t;
+inline constexpr ClauseRef kNoClause = 0xFFFFFFFFU;
+
+class ClauseArena {
+ public:
+  ClauseRef alloc(const std::vector<Lit>& lits, bool learnt) {
+    const ClauseRef cr = static_cast<ClauseRef>(data_.size());
+    data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                    (learnt ? 1U : 0U));
+    if (learnt) {
+      data_.push_back(0);                            // LBD
+      data_.push_back(std::bit_cast<std::uint32_t>(0.0F));  // activity
+    }
+    for (const Lit l : lits) data_.push_back(static_cast<std::uint32_t>(l.x));
+    return cr;
+  }
+
+  std::uint32_t size(ClauseRef cr) const { return data_[cr] >> 2; }
+  bool learnt(ClauseRef cr) const { return (data_[cr] & 1U) != 0; }
+  bool relocated(ClauseRef cr) const { return (data_[cr] & 2U) != 0; }
+  ClauseRef forward(ClauseRef cr) const { return data_[cr + 1]; }
+
+  std::uint32_t header_words(ClauseRef cr) const { return learnt(cr) ? 3 : 1; }
+  std::uint32_t words(ClauseRef cr) const {
+    return header_words(cr) + size(cr);
+  }
+
+  Lit lit(ClauseRef cr, std::uint32_t i) const {
+    return Lit{static_cast<std::int32_t>(data_[cr + header_words(cr) + i])};
+  }
+  void set_lit(ClauseRef cr, std::uint32_t i, Lit l) {
+    data_[cr + header_words(cr) + i] = static_cast<std::uint32_t>(l.x);
+  }
+  /// Raw literal words (Lit::x values) — the propagation inner loop indexes
+  /// these directly to skip the per-access header decode.
+  std::uint32_t* raw_lits(ClauseRef cr) {
+    return data_.data() + cr + header_words(cr);
+  }
+  const std::uint32_t* raw_lits(ClauseRef cr) const {
+    return data_.data() + cr + header_words(cr);
+  }
+
+  /// Shrink a clause in place (strict-subsumption minimization); the freed
+  /// tail words are accounted as wasted.
+  void shrink(ClauseRef cr, std::uint32_t new_size) {
+    const std::uint32_t old = size(cr);
+    if (new_size >= old) return;
+    wasted_ += old - new_size;
+    data_[cr] = (new_size << 2) | (data_[cr] & 3U);
+  }
+
+  std::uint32_t lbd(ClauseRef cr) const { return data_[cr + 1]; }
+  void set_lbd(ClauseRef cr, std::uint32_t g) { data_[cr + 1] = g; }
+  float activity(ClauseRef cr) const {
+    return std::bit_cast<float>(data_[cr + 2]);
+  }
+  void set_activity(ClauseRef cr, float a) {
+    data_[cr + 2] = std::bit_cast<std::uint32_t>(a);
+  }
+
+  void free_clause(ClauseRef cr) { wasted_ += words(cr); }
+
+  /// Relocate `cr` into `to`, installing a forward pointer in this arena so
+  /// every alias of the ref lands on the same copy. `cr` is updated in place.
+  void reloc(ClauseRef& cr, ClauseArena& to) {
+    if (relocated(cr)) {
+      cr = forward(cr);
+      return;
+    }
+    const ClauseRef ncr = static_cast<ClauseRef>(to.data_.size());
+    const std::uint32_t n = words(cr);
+    to.data_.insert(to.data_.end(), data_.begin() + cr,
+                    data_.begin() + cr + n);
+    data_[cr] |= 2U;       // mark relocated; the old payload is now dead
+    data_[cr + 1] = ncr;   // forward pointer (overwrites LBD / first literal)
+    cr = ncr;
+  }
+
+  std::size_t size_words() const { return data_.size(); }
+  std::size_t wasted_words() const { return wasted_; }
+  void reserve(std::size_t words) { data_.reserve(words); }
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace tz::sat

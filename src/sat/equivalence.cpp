@@ -1,80 +1,24 @@
 #include "sat/equivalence.hpp"
 
-#include <cstdint>
-#include <stdexcept>
+#include <cstdlib>
+#include <string_view>
 
-#include "sat/tseitin.hpp"
+#include "sat/miter.hpp"
 
 namespace tz::sat {
 
 EquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
                                     std::int64_t conflict_limit) {
-  if (a.inputs().size() != b.inputs().size() ||
-      a.outputs().size() != b.outputs().size()) {
-    throw std::invalid_argument("check_equivalence: interface mismatch");
+  MiterOptions opts;
+  opts.conflict_limit = conflict_limit;
+  if (const char* e = std::getenv("TZ_SAT_PREPASS")) {
+    opts.prepass = std::string_view(e) != "0";
   }
-  Solver solver;
-  const std::vector<Var> va = encode_netlist(solver, a);
-  const std::vector<Var> vb = encode_netlist(solver, b);
-
-  // Tie primary inputs together.
-  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-    const Lit la = Lit::make(va[a.inputs()[i]]);
-    const Lit lb = Lit::make(vb[b.inputs()[i]]);
-    solver.add_binary(~la, lb);
-    solver.add_binary(la, ~lb);
+  if (const char* e = std::getenv("TZ_SAT_DIMACS")) {
+    opts.dimacs_path = e;
   }
-  // Tie DFF frame inputs by position when both sides have them.
-  const std::size_t common_dffs = std::min(a.dffs().size(), b.dffs().size());
-  for (std::size_t i = 0; i < common_dffs; ++i) {
-    const Lit la = Lit::make(va[a.dffs()[i]]);
-    const Lit lb = Lit::make(vb[b.dffs()[i]]);
-    solver.add_binary(~la, lb);
-    solver.add_binary(la, ~lb);
-  }
-  // Extra DFFs on one side (an inserted HT) are constrained to their reset
-  // state so the miter asks: "does any input differ at reset?"
-  auto pin_extra = [&](const Netlist& nl, const std::vector<Var>& vars) {
-    for (std::size_t i = common_dffs; i < nl.dffs().size(); ++i) {
-      solver.add_unit(~Lit::make(vars[nl.dffs()[i]]));
-    }
-  };
-  pin_extra(a, va);
-  pin_extra(b, vb);
-
-  // Miter: OR of output XORs must be 1.
-  std::vector<Lit> any_diff;
-  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
-    const Lit la = Lit::make(va[a.outputs()[o]]);
-    const Lit lb = Lit::make(vb[b.outputs()[o]]);
-    const Lit d = Lit::make(solver.new_var());
-    // d <-> la XOR lb
-    solver.add_ternary(~d, la, lb);
-    solver.add_ternary(~d, ~la, ~lb);
-    solver.add_ternary(d, ~la, lb);
-    solver.add_ternary(d, la, ~lb);
-    any_diff.push_back(d);
-  }
-  solver.add_clause(any_diff);
-
-  EquivalenceResult res;
-  switch (solver.solve({}, conflict_limit)) {
-    case SolveResult::Unsat:
-      res.equivalent = true;
-      return res;
-    case SolveResult::Unknown:
-      res.decided = false;
-      return res;
-    case SolveResult::Sat: {
-      res.equivalent = false;
-      res.counterexample.resize(a.inputs().size());
-      for (std::size_t i = 0; i < a.inputs().size(); ++i) {
-        res.counterexample[i] = solver.model_value(va[a.inputs()[i]]);
-      }
-      return res;
-    }
-  }
-  return res;
+  IncrementalMiter miter(a, b, std::move(opts));
+  return miter.check();
 }
 
 }  // namespace tz::sat

@@ -6,14 +6,19 @@
 //    extract the distinguishing input vector;
 //  * extract HT trigger witnesses: an input under which the infected circuit
 //    N'' differs from N.
+//
+// check_equivalence is a thin wrapper over sat::IncrementalMiter
+// (sat/miter.hpp): per-output cone-sliced queries on one persistent arena
+// solver, structural sharing between the two netlists, and a BitSimulator
+// random-pattern pre-pass. Env knobs (see README env matrix): TZ_SAT_PREPASS=0
+// disables the pre-pass, TZ_SAT_DIMACS=<path> dumps the final CNF.
 #pragma once
 
 #include <cstdint>
-#include <optional>
 #include <vector>
 
 #include "netlist/netlist.hpp"
-#include "sat/solver.hpp"
+#include "sat/types.hpp"
 
 namespace tz::sat {
 
@@ -23,6 +28,13 @@ struct EquivalenceResult {
   /// When not equivalent: an input assignment (by PI index) exposing a
   /// differing primary output.
   std::vector<bool> counterexample;
+  /// The DFF frame-input assignment of the same witness, indexed by netlist
+  /// `a`'s dff order. DFFs present only in `b` (an inserted HT's counter) are
+  /// pinned to their reset state 0 by the miter, so `counterexample` +
+  /// `dff_values` (+ zeros for b's extras) replays through BitSimulator.
+  std::vector<bool> dff_values;
+  /// Primary-output index the witness distinguishes (-1 when equivalent).
+  int failing_output = -1;
 };
 
 /// Check combinational equivalence of two netlists with identical PI/PO

@@ -1,0 +1,80 @@
+#include "sat/exact_pft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/trigger_prob.hpp"
+#include "sat/solver.hpp"
+#include "sat/tseitin.hpp"
+
+namespace tz::sat {
+
+ExactPftResult exact_trigger_pft(const Netlist& nl, NodeId trigger,
+                                 std::size_t test_length, int counter_bits,
+                                 const ExactPftOptions& opts) {
+  ExactPftResult res;
+
+  // Cone-of-influence encoding: only the trigger's transitive fanin.
+  const NodeId roots[1] = {trigger};
+  std::vector<NodeId> cone = nl.fanin_cone(roots);
+  std::vector<std::uint32_t> topo_pos(nl.raw_size(), 0);
+  {
+    const std::vector<NodeId> order = nl.topo_order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      topo_pos[order[i]] = static_cast<std::uint32_t>(i);
+    }
+  }
+  std::sort(cone.begin(), cone.end(), [&topo_pos](NodeId x, NodeId y) {
+    return topo_pos[x] < topo_pos[y];
+  });
+
+  Solver solver;
+  std::vector<Var> var(nl.raw_size(), -1);
+  std::vector<Var> support;
+  std::vector<Lit> ins;
+  for (const NodeId id : cone) {
+    const Node& n = nl.node(id);
+    const Var v = solver.new_var();
+    var[id] = v;
+    if (n.type == GateType::Input || n.type == GateType::Dff) {
+      support.push_back(v);
+      continue;
+    }
+    ins.clear();
+    ins.reserve(n.fanin.size());
+    for (const NodeId f : n.fanin) ins.push_back(Lit::make(var[f]));
+    encode_node(solver, n.type, Lit::make(v), ins);
+  }
+  res.support_width = static_cast<int>(support.size());
+  if (res.support_width > opts.max_support) return res;  // undecided
+
+  solver.add_unit(Lit::make(var[trigger]));
+
+  // Blocking-clause model enumeration over the support. Counting only the
+  // support projection is what makes q exact: auxiliary Tseitin variables
+  // are functionally determined by the support, so each support assignment
+  // corresponds to exactly one model.
+  std::vector<Lit> block;
+  while (true) {
+    const SolveResult r = solver.solve({}, opts.conflict_limit);
+    if (r == SolveResult::Unknown) return res;  // undecided
+    if (r == SolveResult::Unsat) break;
+    if (++res.models > static_cast<std::uint64_t>(opts.max_models)) {
+      return res;  // undecided: the trigger is nowhere near rare
+    }
+    block.clear();
+    block.reserve(support.size());
+    for (const Var v : support) {
+      block.push_back(Lit::make(v, solver.model_value(v)));
+    }
+    if (block.empty() || !solver.add_clause(block)) break;  // support exhausted
+  }
+
+  res.q = std::ldexp(static_cast<double>(res.models), -res.support_width);
+  res.pft = analytic_pft(res.q, test_length, counter_bits);
+  res.decided = true;
+  return res;
+}
+
+}  // namespace tz::sat

@@ -1,0 +1,53 @@
+// SAT-exact trigger rarity.
+//
+// The flow's analytic_pft (core/trigger_prob.hpp) takes the trigger's
+// per-cycle activation probability q from SignalProb, which treats
+// reconverging rare nets as independent — the paper samples around that
+// error. Here q is computed exactly instead: the trigger's fanin cone is
+// Tseitin-encoded, the trigger asserted, and every satisfying assignment of
+// the cone's PI/DFF support enumerated with blocking clauses. The count m
+// over a support of width w gives q = m / 2^w exactly (inputs uniform and
+// independent per cycle), which then feeds the same saturating-counter
+// binomial tail as the analytic path.
+//
+// Enumeration is bounded by the support width (a rare trigger over k rare
+// nets has a small support by construction) and by a model cap; an
+// undecided result reports decided=false rather than an approximate count.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace tz::sat {
+
+struct ExactPftOptions {
+  /// Refuse supports wider than this (2^w enumeration denominator; 26 keeps
+  /// the worst case under ~67M models even for a pathological cone).
+  int max_support = 26;
+  /// Give up (decided=false) after this many models.
+  std::int64_t max_models = 1 << 22;
+  /// Per-solve conflict budget; < 0 = unlimited.
+  std::int64_t conflict_limit = -1;
+};
+
+struct ExactPftResult {
+  bool decided = false;
+  double q = 0.0;          ///< exact per-cycle trigger probability
+  double pft = 0.0;        ///< analytic_pft(q, test_length, counter_bits)
+  std::uint64_t models = 0;
+  int support_width = 0;   ///< PIs + DFF frame inputs in the trigger cone
+};
+
+/// Exact Pft of a (possibly counter-backed) trigger node: model-enumerates
+/// `trigger == 1` over the PI/DFF support of its fanin cone and feeds the
+/// exact q into the saturating-counter tail analytic_pft(q, test_length,
+/// counter_bits). `trigger` is the per-cycle trigger-condition net (an
+/// InsertedHT's trigger_in), not the counter's fire output — the counter is
+/// modeled by the binomial tail exactly as in the analytic path, so on
+/// independent-support triggers the two agree bit-for-bit.
+ExactPftResult exact_trigger_pft(const Netlist& nl, NodeId trigger,
+                                 std::size_t test_length, int counter_bits,
+                                 const ExactPftOptions& opts = {});
+
+}  // namespace tz::sat

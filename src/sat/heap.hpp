@@ -1,0 +1,92 @@
+// Indexed binary max-heap over variable activities (the VSIDS order heap).
+//
+// Replaces the seed solver's O(vars) linear scan in pick_branch. Activities
+// only ever increase (global rescaling multiplies every entry by the same
+// factor, which preserves heap order), so the only sift direction needed
+// after a bump is up. Deletion is lazy: solve() pops until it finds an
+// unassigned variable, and backtracking re-inserts unassigned variables.
+#pragma once
+
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace tz::sat {
+
+class VarOrderHeap {
+ public:
+  explicit VarOrderHeap(const std::vector<double>& activity)
+      : activity_(activity) {}
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  bool in_heap(Var v) const {
+    return v < static_cast<Var>(indices_.size()) && indices_[v] >= 0;
+  }
+
+  void grow(Var v) {
+    if (v >= static_cast<Var>(indices_.size())) indices_.resize(v + 1, -1);
+  }
+
+  void insert(Var v) {
+    grow(v);
+    if (indices_[v] >= 0) return;
+    indices_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    sift_up(indices_[v]);
+  }
+
+  /// Re-establish the heap property for `v` after its activity increased.
+  void increased(Var v) {
+    if (in_heap(v)) sift_up(indices_[v]);
+  }
+
+  Var remove_max() {
+    const Var top = heap_[0];
+    heap_[0] = heap_.back();
+    indices_[heap_[0]] = 0;
+    indices_[top] = -1;
+    heap_.pop_back();
+    if (heap_.size() > 1) sift_down(0);
+    return top;
+  }
+
+ private:
+  bool less(Var a, Var b) const { return activity_[a] < activity_[b]; }
+
+  void sift_up(int i) {
+    const Var v = heap_[i];
+    while (i > 0) {
+      const int parent = (i - 1) >> 1;
+      if (!less(heap_[parent], v)) break;
+      heap_[i] = heap_[parent];
+      indices_[heap_[i]] = i;
+      i = parent;
+    }
+    heap_[i] = v;
+    indices_[v] = i;
+  }
+
+  void sift_down(int i) {
+    const Var v = heap_[i];
+    const int n = static_cast<int>(heap_.size());
+    while (true) {
+      int child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && less(heap_[child], heap_[child + 1])) ++child;
+      if (!less(v, heap_[child])) break;
+      heap_[i] = heap_[child];
+      indices_[heap_[i]] = i;
+      i = child;
+    }
+    heap_[i] = v;
+    indices_[v] = i;
+  }
+
+  const std::vector<double>& activity_;
+  std::vector<Var> heap_;
+  std::vector<int> indices_;  ///< per var: position in heap_, -1 if absent
+};
+
+}  // namespace tz::sat

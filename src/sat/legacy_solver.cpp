@@ -1,0 +1,353 @@
+#include "sat/legacy_solver.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "sat/tseitin.hpp"
+
+namespace tz::sat::legacy {
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(LBool::Undef);
+  model_.push_back(LBool::Undef);
+  phase_.push_back(0);
+  activity_.push_back(0.0);
+  reason_.push_back(kNoClause);
+  level_.push_back(0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  return v;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  // Simplify: sort, dedup, drop tautologies and false literals at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  std::vector<Lit> out;
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    if (i > 0 && lits[i] == lits[i - 1]) continue;
+    if (i > 0 && lits[i].var() == lits[i - 1].var()) return true;  // taut
+    if (value(lits[i]) == LBool::True) return true;   // already satisfied
+    if (value(lits[i]) == LBool::False) continue;     // level-0 false
+    out.push_back(lits[i]);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    if (!enqueue(out[0], kNoClause)) {
+      ok_ = false;
+      return false;
+    }
+    ok_ = propagate() == kNoClause;
+    return ok_;
+  }
+  clauses_.push_back(Clause{std::move(out), false, 0.0});
+  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  return true;
+}
+
+void Solver::attach(ClauseRef cr) {
+  const Clause& c = clauses_[cr];
+  watches_[(~c.lits[0]).x].push_back(cr);
+  watches_[(~c.lits[1]).x].push_back(cr);
+}
+
+bool Solver::enqueue(Lit l, ClauseRef reason) {
+  if (value(l) != LBool::Undef) return value(l) == LBool::True;
+  assigns_[l.var()] = l.neg() ? LBool::False : LBool::True;
+  reason_[l.var()] = reason;
+  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  trail_.push_back(l);
+  return true;
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];  // p is true; clauses watching ~p wake up
+    std::vector<ClauseRef>& ws = watches_[p.x];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const ClauseRef cr = ws[i];
+      Clause& c = clauses_[cr];
+      // Normalize: watched literal being falsified is ~p; put it at [1].
+      const Lit false_lit = ~p;
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      if (value(c.lits[0]) == LBool::True) {
+        ws[keep++] = cr;  // satisfied by other watch
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (value(c.lits[k]) != LBool::False) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back(cr);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Unit or conflicting.
+      ws[keep++] = cr;
+      if (value(c.lits[0]) == LBool::False) {
+        // Conflict: keep remaining watchers, return.
+        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return cr;
+      }
+      enqueue(c.lits[0], cr);
+    }
+    ws.resize(keep);
+  }
+  return kNoClause;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+}
+
+void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
+                     int& bt_level) {
+  learnt.clear();
+  learnt.push_back(Lit{-2});  // placeholder for asserting literal
+  int counter = 0;
+  Lit p{-2};
+  std::size_t index = trail_.size();
+  ClauseRef reason = conflict;
+  const int current_level = static_cast<int>(trail_lim_.size());
+  do {
+    const Clause& c = clauses_[reason];
+    const std::size_t start = (p.x == -2) ? 0 : 1;
+    for (std::size_t i = start; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        seen_[q.var()] = 1;
+        bump_var(q.var());
+        if (level_[q.var()] >= current_level) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal from the trail to resolve on.
+    while (!seen_[trail_[index - 1].var()]) --index;
+    p = trail_[--index];
+    seen_[p.var()] = 0;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Compute backtrack level (second-highest level in the clause).
+  bt_level = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    bt_level = level_[learnt[1].var()];
+  }
+  for (const Lit& l : learnt) seen_[l.var()] = 0;
+}
+
+void Solver::backtrack(int target) {
+  if (static_cast<int>(trail_lim_.size()) <= target) return;
+  const std::size_t lim = trail_lim_[target];
+  for (std::size_t i = trail_.size(); i > lim; --i) {
+    const Var v = trail_[i - 1].var();
+    phase_[v] = assigns_[v] == LBool::True ? 1 : 0;
+    assigns_[v] = LBool::Undef;
+    reason_[v] = kNoClause;
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  Var best = -1;
+  double best_act = -1.0;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] == LBool::Undef && activity_[v] > best_act) {
+      best = v;
+      best_act = activity_[v];
+    }
+  }
+  if (best < 0) return Lit{-2};
+  return Lit::make(best, phase_[best] == 0);
+}
+
+void Solver::reduce_learnts() {
+  // Simple policy: drop the lower-activity half of long learnt clauses.
+  // To keep reason bookkeeping simple we only do this when nothing on the
+  // trail references learnt clauses (i.e., at level 0).
+  if (!trail_lim_.empty()) return;
+  std::vector<ClauseRef> learnt;
+  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
+    if (clauses_[cr].learnt && clauses_[cr].lits.size() > 2) {
+      learnt.push_back(cr);
+    }
+  }
+  if (learnt.size() < 2000) return;
+  std::sort(learnt.begin(), learnt.end(), [&](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  // Detach (lazily: rebuild all watches).
+  std::vector<char> drop(clauses_.size(), 0);
+  for (std::size_t i = 0; i < learnt.size() / 2; ++i) drop[learnt[i]] = 1;
+  std::vector<Clause> kept;
+  kept.reserve(clauses_.size());
+  std::vector<ClauseRef> remap(clauses_.size(), kNoClause);
+  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
+    if (!drop[cr]) {
+      remap[cr] = static_cast<ClauseRef>(kept.size());
+      kept.push_back(std::move(clauses_[cr]));
+    }
+  }
+  clauses_ = std::move(kept);
+  for (auto& w : watches_) w.clear();
+  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
+    attach(cr);
+  }
+  for (Var v = 0; v < num_vars(); ++v) reason_[v] = kNoClause;
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions,
+                          std::int64_t conflict_limit) {
+  if (!ok_) return SolveResult::Unsat;
+  backtrack(0);
+  conflicts_ = 0;
+
+  // Apply assumptions as pseudo-decisions at successive levels.
+  for (const Lit& a : assumptions) {
+    if (value(a) == LBool::True) continue;
+    if (value(a) == LBool::False) return SolveResult::Unsat;
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(a, kNoClause);
+    if (propagate() != kNoClause) {
+      backtrack(0);
+      return SolveResult::Unsat;
+    }
+  }
+  const int assumption_level = static_cast<int>(trail_lim_.size());
+
+  std::int64_t next_restart = 128;
+  while (true) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoClause) {
+      ++conflicts_;
+      if (trail_lim_.empty() ||
+          static_cast<int>(trail_lim_.size()) <= assumption_level) {
+        backtrack(0);
+        return SolveResult::Unsat;
+      }
+      std::vector<Lit> learnt;
+      int bt_level = 0;
+      analyze(conflict, learnt, bt_level);
+      backtrack(std::max(bt_level, assumption_level));
+      if (learnt.size() == 1) {
+        // Note: while assumptions hold this asserts above level 0, so the
+        // unit is forgotten by the next backtrack past the assumption
+        // levels — the arena solver fixes this structurally.
+        enqueue(learnt[0], kNoClause);
+      } else {
+        clauses_.push_back(Clause{learnt, true, var_inc_});
+        attach(static_cast<ClauseRef>(clauses_.size() - 1));
+        enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));
+      }
+      decay_var_activity();
+      if (conflict_limit >= 0 && conflicts_ >= conflict_limit) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      if (conflicts_ >= next_restart) {
+        next_restart += next_restart / 2;
+        backtrack(assumption_level);
+        reduce_learnts();
+      }
+      continue;
+    }
+    const Lit branch = pick_branch();
+    if (branch.x == -2) {
+      // Full assignment: record model.
+      model_ = assigns_;
+      backtrack(0);
+      return SolveResult::Sat;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(branch, kNoClause);
+  }
+}
+
+LegacyEquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                          std::int64_t conflict_limit) {
+  Solver solver;
+  const std::vector<Var> va = encode_netlist(solver, a);
+  const std::vector<Var> vb = encode_netlist(solver, b);
+
+  // Tie primary inputs together.
+  for (std::size_t i = 0; i < a.inputs().size(); ++i) {
+    const Lit la = Lit::make(va[a.inputs()[i]]);
+    const Lit lb = Lit::make(vb[b.inputs()[i]]);
+    solver.add_binary(~la, lb);
+    solver.add_binary(la, ~lb);
+  }
+  // Tie DFF frame inputs by position when both sides have them.
+  const std::size_t common_dffs = std::min(a.dffs().size(), b.dffs().size());
+  for (std::size_t i = 0; i < common_dffs; ++i) {
+    const Lit la = Lit::make(va[a.dffs()[i]]);
+    const Lit lb = Lit::make(vb[b.dffs()[i]]);
+    solver.add_binary(~la, lb);
+    solver.add_binary(la, ~lb);
+  }
+  // Extra DFFs on one side pinned to reset state.
+  const auto pin_extra = [&](const Netlist& nl, const std::vector<Var>& vars) {
+    for (std::size_t i = common_dffs; i < nl.dffs().size(); ++i) {
+      solver.add_unit(~Lit::make(vars[nl.dffs()[i]]));
+    }
+  };
+  pin_extra(a, va);
+  pin_extra(b, vb);
+
+  // Miter: OR of output XORs must be 1.
+  std::vector<Lit> any_diff;
+  for (std::size_t o = 0; o < a.outputs().size(); ++o) {
+    const Lit la = Lit::make(va[a.outputs()[o]]);
+    const Lit lb = Lit::make(vb[b.outputs()[o]]);
+    const Lit d = Lit::make(solver.new_var());
+    solver.add_ternary(~d, la, lb);
+    solver.add_ternary(~d, ~la, ~lb);
+    solver.add_ternary(d, ~la, lb);
+    solver.add_ternary(d, la, ~lb);
+    any_diff.push_back(d);
+  }
+  solver.add_clause(any_diff);
+
+  LegacyEquivalenceResult res;
+  switch (solver.solve({}, conflict_limit)) {
+    case SolveResult::Unsat:
+      res.equivalent = true;
+      break;
+    case SolveResult::Unknown:
+      res.decided = false;
+      break;
+    case SolveResult::Sat:
+      res.equivalent = false;
+      break;
+  }
+  return res;
+}
+
+}  // namespace tz::sat::legacy

@@ -1,0 +1,90 @@
+// The seed repo's teaching CDCL core, preserved verbatim for same-run A/B
+// benchmarking against the arena solver (sat/solver.hpp). One behavioral
+// cleanup only: the duplicated unit-learnt branch in solve() is collapsed
+// (both arms were identical — the comment about assumption levels described
+// a fix that was never written; the arena solver implements it properly via
+// in-loop assumption placement).
+//
+// bench/perf_engines.cpp measures legacy::check_equivalence against the
+// incremental miter in the same binary; nothing else should use this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/types.hpp"
+
+namespace tz::sat::legacy {
+
+class Solver {
+ public:
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  SolveResult solve(const std::vector<Lit>& assumptions = {},
+                    std::int64_t conflict_limit = -1);
+
+  bool model_value(Var v) const { return model_[v] == LBool::True; }
+
+  std::int64_t conflicts() const { return conflicts_; }
+
+ private:
+  struct Clause {
+    std::vector<Lit> lits;
+    bool learnt = false;
+    double activity = 0.0;
+  };
+  using ClauseRef = std::int32_t;
+  static constexpr ClauseRef kNoClause = -1;
+
+  LBool value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::Undef) return LBool::Undef;
+    return (v == LBool::True) != l.neg() ? LBool::True : LBool::False;
+  }
+
+  void attach(ClauseRef cr);
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef conflict, std::vector<Lit>& learnt, int& bt_level);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void reduce_learnts();
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<ClauseRef>> watches_;  // indexed by lit.x
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<char> phase_;          // saved polarity per var
+  std::vector<double> activity_;
+  std::vector<ClauseRef> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t qhead_ = 0;
+  double var_inc_ = 1.0;
+  bool ok_ = true;
+  std::int64_t conflicts_ = 0;
+  std::vector<char> seen_;
+};
+
+/// The seed's monolithic miter: encode both netlists whole, tie the
+/// interfaces with equality clauses, one big OR-of-XORs, one solve. Returns
+/// equivalent / not / undecided exactly like the old check_equivalence (the
+/// witness is not extracted — the A/B bench only needs the verdict).
+struct LegacyEquivalenceResult {
+  bool equivalent = false;
+  bool decided = true;
+};
+LegacyEquivalenceResult check_equivalence(const Netlist& a, const Netlist& b,
+                                          std::int64_t conflict_limit = -1);
+
+}  // namespace tz::sat::legacy

@@ -1,8 +1,8 @@
 #include "sat/solver.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdint>
+#include <ostream>
 
 namespace tz::sat {
 
@@ -17,20 +17,23 @@ Var Solver::new_var() {
   seen_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
+  order_.insert(v);
   return v;
 }
 
 bool Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return false;
-  // Simplify: sort, dedup, drop tautologies and false literals at level 0.
-  std::sort(lits.begin(), lits.end(),
-            [](Lit a, Lit b) { return a.x < b.x; });
+  // The solver is always at level 0 between solves, so level-0 simplification
+  // (drop false literals, discard satisfied clauses) is sound here.
+  std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.x < b.x; });
   std::vector<Lit> out;
   for (std::size_t i = 0; i < lits.size(); ++i) {
     if (i > 0 && lits[i] == lits[i - 1]) continue;
     if (i > 0 && lits[i].var() == lits[i - 1].var()) return true;  // taut
-    if (value(lits[i]) == LBool::True) return true;   // already satisfied
-    if (value(lits[i]) == LBool::False) continue;     // level-0 false
+    if (value(lits[i]) == LBool::True) return true;  // already satisfied
+    if (value(lits[i]) == LBool::False) continue;    // level-0 false
     out.push_back(lits[i]);
   }
   if (out.empty()) {
@@ -38,117 +41,209 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    if (!enqueue(out[0], kNoClause)) {
-      ok_ = false;
-      return false;
-    }
+    enqueue(out[0], kNoClause);
     ok_ = propagate() == kNoClause;
     return ok_;
   }
-  clauses_.push_back(Clause{std::move(out), false, 0.0});
-  attach(static_cast<ClauseRef>(clauses_.size() - 1));
+  const ClauseRef cr = arena_.alloc(out, false);
+  clauses_.push_back(cr);
+  attach(cr);
   return true;
 }
 
 void Solver::attach(ClauseRef cr) {
-  const Clause& c = clauses_[cr];
-  watches_[(~c.lits[0]).x].push_back(cr);
-  watches_[(~c.lits[1]).x].push_back(cr);
+  const Lit c0 = arena_.lit(cr, 0);
+  const Lit c1 = arena_.lit(cr, 1);
+  if (arena_.size(cr) == 2) {
+    bin_watches_[(~c0).x].push_back(BinWatcher{c1, cr});
+    bin_watches_[(~c1).x].push_back(BinWatcher{c0, cr});
+  } else {
+    watches_[(~c0).x].push_back(Watcher{cr, c1});
+    watches_[(~c1).x].push_back(Watcher{cr, c0});
+  }
 }
 
-bool Solver::enqueue(Lit l, ClauseRef reason) {
-  if (value(l) != LBool::Undef) return value(l) == LBool::True;
+void Solver::detach(ClauseRef cr) {
+  auto remove_from = [cr](std::vector<Watcher>& ws) {
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cr) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        return;
+      }
+    }
+  };
+  remove_from(watches_[(~arena_.lit(cr, 0)).x]);
+  remove_from(watches_[(~arena_.lit(cr, 1)).x]);
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
   assigns_[l.var()] = l.neg() ? LBool::False : LBool::True;
   reason_[l.var()] = reason;
-  level_[l.var()] = static_cast<int>(trail_lim_.size());
+  level_[l.var()] = decision_level();
   trail_.push_back(l);
-  return true;
 }
 
-Solver::ClauseRef Solver::propagate() {
+ClauseRef Solver::propagate() {
+  ClauseRef confl = kNoClause;
   while (qhead_ < trail_.size()) {
-    const Lit p = trail_[qhead_++];  // p is true; clauses watching ~p wake up
-    std::vector<ClauseRef>& ws = watches_[p.x];
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-      const ClauseRef cr = ws[i];
-      Clause& c = clauses_[cr];
-      // Normalize: watched literal being falsified is ~p; put it at [1].
-      const Lit false_lit = ~p;
-      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
-      if (value(c.lits[0]) == LBool::True) {
-        ws[keep++] = cr;  // satisfied by other watch
+    const Lit p = trail_[qhead_++];  // p is true; watchers of ~p wake up
+    ++stats_.propagations;
+
+    // Binary implications: resolved entirely from the watch list.
+    for (const BinWatcher& bw : bin_watches_[p.x]) {
+      const LBool v = value(bw.other);
+      if (v == LBool::False) {
+        qhead_ = trail_.size();
+        return bw.cref;
+      }
+      if (v == LBool::Undef) enqueue(bw.other, bw.cref);
+    }
+
+    std::vector<Watcher>& ws = watches_[p.x];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    const Lit false_lit = ~p;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      // Blocker already true: clause satisfied, arena untouched.
+      if (value(w.blocker) == LBool::True) {
+        ws[j++] = w;
+        ++i;
         continue;
       }
-      // Find a new literal to watch.
+      const ClauseRef cr = w.cref;
+      std::uint32_t* lits = arena_.raw_lits(cr);
+      const std::uint32_t fx = static_cast<std::uint32_t>(false_lit.x);
+      if (lits[0] == fx) std::swap(lits[0], lits[1]);
+      const Lit first{static_cast<std::int32_t>(lits[0])};
+      const Watcher w2{cr, first};
+      if (first != w.blocker && value(first) == LBool::True) {
+        ws[j++] = w2;
+        ++i;
+        continue;
+      }
+      // Look for a new literal to watch.
+      const std::uint32_t sz = arena_.size(cr);
       bool moved = false;
-      for (std::size_t k = 2; k < c.lits.size(); ++k) {
-        if (value(c.lits[k]) != LBool::False) {
-          std::swap(c.lits[1], c.lits[k]);
-          watches_[(~c.lits[1]).x].push_back(cr);
+      for (std::uint32_t k = 2; k < sz; ++k) {
+        const Lit lk{static_cast<std::int32_t>(lits[k])};
+        if (value(lk) != LBool::False) {
+          lits[1] = lits[k];
+          lits[k] = fx;
+          watches_[(~lk).x].push_back(w2);
           moved = true;
           break;
         }
       }
-      if (moved) continue;
-      // Unit or conflicting.
-      ws[keep++] = cr;
-      if (value(c.lits[0]) == LBool::False) {
-        // Conflict: keep remaining watchers, return.
-        for (std::size_t j = i + 1; j < ws.size(); ++j) ws[keep++] = ws[j];
-        ws.resize(keep);
-        qhead_ = trail_.size();
-        return cr;
+      if (moved) {
+        ++i;
+        continue;
       }
-      enqueue(c.lits[0], cr);
+      // Unit or conflicting.
+      ws[j++] = w2;
+      ++i;
+      if (value(first) == LBool::False) {
+        confl = cr;
+        qhead_ = trail_.size();
+        while (i < ws.size()) ws[j++] = ws[i++];
+        break;
+      }
+      enqueue(first, cr);
     }
-    ws.resize(keep);
+    ws.resize(j);
+    if (confl != kNoClause) break;
   }
-  return kNoClause;
+  return confl;
 }
 
 void Solver::bump_var(Var v) {
   activity_[v] += var_inc_;
   if (activity_[v] > 1e100) {
+    // Uniform rescale preserves heap order.
     for (double& a : activity_) a *= 1e-100;
     var_inc_ *= 1e-100;
   }
+  order_.increased(v);
+}
+
+void Solver::bump_clause(ClauseRef cr) {
+  const float a = arena_.activity(cr) + cla_inc_;
+  arena_.set_activity(cr, a);
+  if (a > 1e20F) {
+    for (const ClauseRef lr : learnts_) {
+      arena_.set_activity(lr, arena_.activity(lr) * 1e-20F);
+    }
+    cla_inc_ *= 1e-20F;
+  }
+}
+
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& lits) {
+  lbd_scratch_.clear();
+  for (const Lit l : lits) lbd_scratch_.push_back(level_[l.var()]);
+  std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+  std::uint32_t glue = 0;
+  for (std::size_t i = 0; i < lbd_scratch_.size(); ++i) {
+    if (i == 0 || lbd_scratch_[i] != lbd_scratch_[i - 1]) ++glue;
+  }
+  return glue;
 }
 
 void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
-                     int& bt_level) {
+                     int& bt_level, std::uint32_t& lbd) {
   learnt.clear();
-  learnt.push_back(Lit{-2});  // placeholder for asserting literal
-  int counter = 0;
-  Lit p{-2};
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  int path = 0;
+  Lit p = kLitUndef;
   std::size_t index = trail_.size();
   ClauseRef reason = conflict;
-  const int current_level = static_cast<int>(trail_lim_.size());
   do {
-    const Clause& c = clauses_[reason];
-    const std::size_t start = (p.x == -2) ? 0 : 1;
-    for (std::size_t i = start; i < c.lits.size(); ++i) {
-      const Lit q = c.lits[i];
+    if (arena_.learnt(reason)) bump_clause(reason);
+    const std::uint32_t sz = arena_.size(reason);
+    const std::uint32_t* lits = arena_.raw_lits(reason);
+    for (std::uint32_t i = 0; i < sz; ++i) {
+      const Lit q{static_cast<std::int32_t>(lits[i])};
+      // For a reason clause, skip the implied literal itself. (Binary
+      // clauses are propagated from the watch lists without normalizing the
+      // arena copy, so the implied literal is not necessarily at slot 0.)
+      if (p != kLitUndef && q.var() == p.var()) continue;
       if (!seen_[q.var()] && level_[q.var()] > 0) {
         seen_[q.var()] = 1;
         bump_var(q.var());
-        if (level_[q.var()] >= current_level) {
-          ++counter;
+        if (level_[q.var()] >= decision_level()) {
+          ++path;
         } else {
           learnt.push_back(q);
         }
       }
     }
-    // Select next literal from the trail to resolve on.
+    // Next literal on the trail to resolve on.
     while (!seen_[trail_[index - 1].var()]) --index;
     p = trail_[--index];
     seen_[p.var()] = 0;
     reason = reason_[p.var()];
-    --counter;
-  } while (counter > 0);
+    --path;
+  } while (path > 0);
   learnt[0] = ~p;
 
-  // Compute backtrack level (second-highest level in the clause).
+  // Recursive (deep) minimization: drop literals implied by the rest of the
+  // learnt clause through the implication graph.
+  analyze_clear_.assign(learnt.begin() + 1, learnt.end());
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1U << (level_[learnt[i].var()] & 31);
+  }
+  std::size_t keep = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == kNoClause ||
+        !lit_redundant(learnt[i], abstract_levels)) {
+      learnt[keep++] = learnt[i];
+    }
+  }
+  stats_.minimized_lits += static_cast<std::int64_t>(learnt.size() - keep);
+  learnt.resize(keep);
+
+  // Backtrack level: second-highest decision level in the clause.
   bt_level = 0;
   if (learnt.size() > 1) {
     std::size_t max_i = 1;
@@ -158,17 +253,53 @@ void Solver::analyze(ClauseRef conflict, std::vector<Lit>& learnt,
     std::swap(learnt[1], learnt[max_i]);
     bt_level = level_[learnt[1].var()];
   }
-  for (const Lit& l : learnt) seen_[l.var()] = 0;
+  lbd = compute_lbd(learnt);
+
+  for (const Lit l : analyze_clear_) seen_[l.var()] = 0;
+  analyze_clear_.clear();
 }
 
-void Solver::backtrack(int target) {
-  if (static_cast<int>(trail_lim_.size()) <= target) return;
+bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef cr = reason_[q.var()];
+    const std::uint32_t sz = arena_.size(cr);
+    const std::uint32_t* lits = arena_.raw_lits(cr);
+    for (std::uint32_t i = 0; i < sz; ++i) {
+      const Lit l{static_cast<std::int32_t>(lits[i])};
+      if (l.var() == q.var()) continue;
+      if (seen_[l.var()] || level_[l.var()] == 0) continue;
+      if (reason_[l.var()] != kNoClause &&
+          ((1U << (level_[l.var()] & 31)) & abstract_levels) != 0) {
+        seen_[l.var()] = 1;
+        analyze_stack_.push_back(l);
+        analyze_clear_.push_back(l);
+      } else {
+        // Not redundant: unmark everything this probe marked.
+        for (std::size_t k = top; k < analyze_clear_.size(); ++k) {
+          seen_[analyze_clear_[k].var()] = 0;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::cancel_until(int target) {
+  if (decision_level() <= target) return;
   const std::size_t lim = trail_lim_[target];
   for (std::size_t i = trail_.size(); i > lim; --i) {
     const Var v = trail_[i - 1].var();
     phase_[v] = assigns_[v] == LBool::True ? 1 : 0;
     assigns_[v] = LBool::Undef;
     reason_[v] = kNoClause;
+    order_.insert(v);
   }
   trail_.resize(lim);
   trail_lim_.resize(target);
@@ -176,120 +307,182 @@ void Solver::backtrack(int target) {
 }
 
 Lit Solver::pick_branch() {
-  Var best = -1;
-  double best_act = -1.0;
-  for (Var v = 0; v < num_vars(); ++v) {
-    if (assigns_[v] == LBool::Undef && activity_[v] > best_act) {
-      best = v;
-      best_act = activity_[v];
-    }
+  while (!order_.empty()) {
+    const Var v = order_.remove_max();
+    if (assigns_[v] == LBool::Undef) return Lit::make(v, phase_[v] == 0);
   }
-  if (best < 0) return Lit{-2};
-  return Lit::make(best, phase_[best] == 0);
+  return kLitUndef;
 }
 
-void Solver::reduce_learnts() {
-  // Simple policy: drop the lower-activity half of long learnt clauses.
-  // To keep reason bookkeeping simple we only do this when nothing on the
-  // trail references learnt clauses (i.e., at level 0).
-  if (!trail_lim_.empty()) return;
-  std::vector<ClauseRef> learnt;
-  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
-    if (clauses_[cr].learnt && clauses_[cr].lits.size() > 2) {
-      learnt.push_back(cr);
+void Solver::reduce_db() {
+  ++stats_.reduces;
+  // Candidates for removal: long, non-glue, not currently a reason.
+  std::vector<ClauseRef> cand;
+  cand.reserve(learnts_.size());
+  for (const ClauseRef cr : learnts_) {
+    if (arena_.size(cr) > 2 && arena_.lbd(cr) > 2 && !locked(cr)) {
+      cand.push_back(cr);
     }
   }
-  if (learnt.size() < 2000) return;
-  std::sort(learnt.begin(), learnt.end(), [&](ClauseRef a, ClauseRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
+  // Worst first: highest LBD, then lowest activity.
+  std::sort(cand.begin(), cand.end(), [this](ClauseRef a, ClauseRef b) {
+    if (arena_.lbd(a) != arena_.lbd(b)) return arena_.lbd(a) > arena_.lbd(b);
+    return arena_.activity(a) < arena_.activity(b);
   });
-  // Detach (lazily: rebuild all watches).
-  std::vector<char> drop(clauses_.size(), 0);
-  for (std::size_t i = 0; i < learnt.size() / 2; ++i) drop[learnt[i]] = 1;
-  std::vector<Clause> kept;
-  kept.reserve(clauses_.size());
-  std::vector<ClauseRef> remap(clauses_.size(), kNoClause);
-  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
-    if (!drop[cr]) {
-      remap[cr] = static_cast<ClauseRef>(kept.size());
-      kept.push_back(std::move(clauses_[cr]));
+  cand.resize(cand.size() / 2);
+  for (const ClauseRef cr : cand) {
+    detach(cr);
+    arena_.free_clause(cr);
+  }
+  std::sort(cand.begin(), cand.end());
+  std::size_t keep = 0;
+  for (const ClauseRef cr : learnts_) {
+    if (!std::binary_search(cand.begin(), cand.end(), cr)) {
+      learnts_[keep++] = cr;
     }
   }
-  clauses_ = std::move(kept);
-  for (auto& w : watches_) w.clear();
-  for (ClauseRef cr = 0; cr < static_cast<ClauseRef>(clauses_.size()); ++cr) {
-    attach(cr);
+  stats_.removed_learnts += static_cast<std::int64_t>(learnts_.size() - keep);
+  learnts_.resize(keep);
+  reduce_cap_ += 512;
+  check_garbage();
+}
+
+void Solver::check_garbage() {
+  if (arena_.size_words() < (1U << 14) ||
+      arena_.wasted_words() * 4 < arena_.size_words()) {
+    return;
   }
-  for (Var v = 0; v < num_vars(); ++v) reason_[v] = kNoClause;
+  ++stats_.gc_runs;
+  ClauseArena to;
+  to.reserve(arena_.size_words() - arena_.wasted_words());
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) arena_.reloc(w.cref, to);
+  }
+  for (auto& ws : bin_watches_) {
+    for (BinWatcher& w : ws) arena_.reloc(w.cref, to);
+  }
+  for (const Lit l : trail_) {
+    ClauseRef& r = reason_[l.var()];
+    if (r != kNoClause) arena_.reloc(r, to);
+  }
+  for (ClauseRef& cr : clauses_) arena_.reloc(cr, to);
+  for (ClauseRef& cr : learnts_) arena_.reloc(cr, to);
+  arena_ = std::move(to);
+}
+
+std::int64_t Solver::luby(std::int64_t i) {
+  // Luby sequence 1,1,2,1,1,2,4,... (1-indexed lookup for term i).
+  std::int64_t k = 1;
+  while ((1LL << k) - 1 < i + 1) ++k;
+  while ((1LL << k) - 1 != i + 1) {
+    --k;
+    i %= (1LL << k) - 1;
+  }
+  return 1LL << (k - 1);
 }
 
 SolveResult Solver::solve(const std::vector<Lit>& assumptions,
                           std::int64_t conflict_limit) {
-  if (!ok_) return SolveResult::Unsat;
-  backtrack(0);
   conflicts_ = 0;
+  if (!ok_) return SolveResult::Unsat;
+  cancel_until(0);
 
-  // Apply assumptions as pseudo-decisions at successive levels.
-  for (const Lit& a : assumptions) {
-    if (value(a) == LBool::True) continue;
-    if (value(a) == LBool::False) return SolveResult::Unsat;
-    trail_lim_.push_back(static_cast<int>(trail_.size()));
-    enqueue(a, kNoClause);
-    if (propagate() != kNoClause) {
-      backtrack(0);
-      return SolveResult::Unsat;
-    }
-  }
-  const int assumption_level = static_cast<int>(trail_lim_.size());
+  std::vector<Lit> learnt;
+  std::int64_t curr_restarts = 0;
+  std::int64_t restart_budget = 100 * luby(curr_restarts);
+  std::int64_t since_restart = 0;
 
-  std::int64_t next_restart = 128;
   while (true) {
-    const ClauseRef conflict = propagate();
-    if (conflict != kNoClause) {
+    const ClauseRef confl = propagate();
+    if (confl != kNoClause) {
       ++conflicts_;
-      if (trail_lim_.empty() ||
-          static_cast<int>(trail_lim_.size()) <= assumption_level) {
-        backtrack(0);
+      ++stats_.conflicts;
+      ++since_restart;
+      if (decision_level() == 0) {
+        // Latch the refutation: the conflicting clause was consumed from the
+        // propagation queue, so without ok_ a later solve would sail past it.
+        ok_ = false;
+        cancel_until(0);
         return SolveResult::Unsat;
       }
-      std::vector<Lit> learnt;
       int bt_level = 0;
-      analyze(conflict, learnt, bt_level);
-      backtrack(std::max(bt_level, assumption_level));
+      std::uint32_t lbd = 0;
+      analyze(confl, learnt, bt_level, lbd);
+      // Backtracking may pass assumption levels: the search loop below
+      // re-places any assumption that got unassigned, and a unit learnt
+      // asserts at level 0 where it persists across the whole solve.
+      cancel_until(bt_level);
       if (learnt.size() == 1) {
-        if (!trail_lim_.empty()) {
-          // Cannot assert at level 0 while assumptions hold; enqueue here.
-          enqueue(learnt[0], kNoClause);
-        } else {
-          enqueue(learnt[0], kNoClause);
-        }
+        enqueue(learnt[0], kNoClause);
       } else {
-        clauses_.push_back(Clause{learnt, true, var_inc_});
-        attach(static_cast<ClauseRef>(clauses_.size() - 1));
-        enqueue(learnt[0], static_cast<ClauseRef>(clauses_.size() - 1));
+        const ClauseRef cr = arena_.alloc(learnt, true);
+        arena_.set_lbd(cr, lbd);
+        attach(cr);
+        learnts_.push_back(cr);
+        bump_clause(cr);
+        enqueue(learnt[0], cr);
       }
-      decay_var_activity();
+      var_inc_ /= 0.95;
+      cla_inc_ /= 0.999F;
       if (conflict_limit >= 0 && conflicts_ >= conflict_limit) {
-        backtrack(0);
+        cancel_until(0);
         return SolveResult::Unknown;
-      }
-      if (conflicts_ >= next_restart) {
-        next_restart += next_restart / 2;
-        backtrack(assumption_level);
-        reduce_learnts();
       }
       continue;
     }
-    const Lit branch = pick_branch();
-    if (branch.x == -2) {
-      // Full assignment: record model.
-      model_ = assigns_;
-      backtrack(0);
-      return SolveResult::Sat;
+
+    if (since_restart >= restart_budget) {
+      ++curr_restarts;
+      ++stats_.restarts;
+      since_restart = 0;
+      restart_budget = 100 * luby(curr_restarts);
+      cancel_until(0);
     }
-    trail_lim_.push_back(static_cast<int>(trail_.size()));
-    enqueue(branch, kNoClause);
+    if (learnts_.size() >= reduce_cap_) reduce_db();
+
+    // Place the next unsatisfied assumption as a decision, or branch.
+    Lit next = kLitUndef;
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == LBool::True) {
+        new_decision_level();  // dummy level keeps the indexing aligned
+      } else if (value(a) == LBool::False) {
+        cancel_until(0);
+        return SolveResult::Unsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      next = pick_branch();
+      if (next == kLitUndef) {
+        model_ = assigns_;
+        cancel_until(0);
+        return SolveResult::Sat;
+      }
+      ++stats_.decisions;
+    }
+    new_decision_level();
+    enqueue(next, kNoClause);
   }
+}
+
+void Solver::write_dimacs(std::ostream& os) const {
+  const auto dimacs = [](Lit l) {
+    return (l.var() + 1) * (l.neg() ? -1 : 1);
+  };
+  // Level-0 facts are emitted as unit clauses (the caller dumps at level 0,
+  // where the whole trail is fact).
+  std::size_t num = clauses_.size() + trail_.size() + (ok_ ? 0 : 1);
+  os << "p cnf " << num_vars() << ' ' << num << '\n';
+  for (const Lit l : trail_) os << dimacs(l) << " 0\n";
+  for (const ClauseRef cr : clauses_) {
+    const std::uint32_t sz = arena_.size(cr);
+    for (std::uint32_t i = 0; i < sz; ++i) os << dimacs(arena_.lit(cr, i)) << ' ';
+    os << "0\n";
+  }
+  if (!ok_) os << "0\n";
 }
 
 }  // namespace tz::sat

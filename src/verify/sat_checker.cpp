@@ -1,0 +1,197 @@
+// SatChecker: arena/watch integrity sweep for the CDCL solver.
+//
+// The solver's hot paths (propagate's in-place watched-literal swaps,
+// reduce_db detachment, arena garbage collection's forward-pointer
+// relocation) all edit the clause store and the watch structures in tandem;
+// a missed update shows up as a wrong UNSAT miles from the cause. This
+// checker re-derives the expected watch structures from the registered
+// clause lists and diffs them against the live ones.
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "sat/solver.hpp"
+#include "verify/verify.hpp"
+
+namespace tz {
+namespace {
+
+std::string lit_str(sat::Lit l) {
+  std::ostringstream os;
+  os << (l.neg() ? "~" : "") << 'v' << l.var();
+  return os.str();
+}
+
+}  // namespace
+
+VerifyReport SatChecker::run(const sat::Solver& solver) {
+  VerifyReport rep;
+  const sat::ClauseArena& arena = solver.arena_;
+  const int num_vars = solver.num_vars();
+
+  // --- SatArenaBounds: every registered ref names a sane clause. ---------
+  // refs[cr] = clause size, for refs that passed the bounds screen; only
+  // those participate in the watch diffs below.
+  std::map<sat::ClauseRef, std::uint32_t> refs;
+  const auto screen = [&](const std::vector<sat::ClauseRef>& list,
+                          const char* what) {
+    for (const sat::ClauseRef cr : list) {
+      if (cr >= arena.size_words()) {
+        rep.add(CheckId::SatArenaBounds,
+                std::string(what) + " clause ref " + std::to_string(cr) +
+                    " past arena end " + std::to_string(arena.size_words()));
+        continue;
+      }
+      if (arena.relocated(cr)) {
+        rep.add(CheckId::SatArenaBounds,
+                std::string(what) + " clause ref " + std::to_string(cr) +
+                    " still carries a relocation forward pointer");
+        continue;
+      }
+      const std::uint32_t sz = arena.size(cr);
+      if (sz < 2 || cr + arena.words(cr) > arena.size_words()) {
+        rep.add(CheckId::SatArenaBounds,
+                std::string(what) + " clause ref " + std::to_string(cr) +
+                    " header insane (size " + std::to_string(sz) + ")");
+        continue;
+      }
+      bool lits_ok = true;
+      for (std::uint32_t i = 0; i < sz; ++i) {
+        const sat::Lit l = arena.lit(cr, i);
+        if (l.var() < 0 || l.var() >= num_vars) {
+          rep.add(CheckId::SatArenaBounds,
+                  std::string(what) + " clause ref " + std::to_string(cr) +
+                      " literal " + std::to_string(i) + " names variable " +
+                      std::to_string(l.var()) + " of " +
+                      std::to_string(num_vars));
+          lits_ok = false;
+        }
+      }
+      if (!lits_ok) continue;
+      if (!refs.emplace(cr, sz).second) {
+        rep.add(CheckId::SatArenaBounds,
+                std::string("clause ref ") + std::to_string(cr) +
+                    " registered twice across clause lists");
+      }
+    }
+  };
+  screen(solver.clauses_, "problem");
+  screen(solver.learnts_, "learnt");
+
+  // --- SatWatchBijection: long clauses <-> watcher lists. ----------------
+  // Expected: clause cr with watched literals c0, c1 appears exactly once in
+  // watches_[~c0] and once in watches_[~c1], nowhere else.
+  std::map<std::pair<std::uint32_t, sat::ClauseRef>, int> expected;
+  for (const auto& [cr, sz] : refs) {
+    if (sz == 2) continue;
+    expected[{static_cast<std::uint32_t>((~arena.lit(cr, 0)).x), cr}] = 0;
+    expected[{static_cast<std::uint32_t>((~arena.lit(cr, 1)).x), cr}] = 0;
+  }
+  for (std::uint32_t lx = 0; lx < solver.watches_.size(); ++lx) {
+    for (const sat::Solver::Watcher& w : solver.watches_[lx]) {
+      const auto it = refs.find(w.cref);
+      if (it == refs.end() || it->second == 2) {
+        rep.add(CheckId::SatWatchBijection,
+                "watch list of " + lit_str(sat::Lit{static_cast<int>(lx)}) +
+                    " holds unregistered or binary clause ref " +
+                    std::to_string(w.cref));
+        continue;
+      }
+      const auto ex = expected.find({lx, w.cref});
+      if (ex == expected.end()) {
+        // A watcher on a literal the clause does not watch (or does not even
+        // contain) is a dead watch: it can silently skip propagations.
+        rep.add(CheckId::SatWatchBijection,
+                "dead watch: clause ref " + std::to_string(w.cref) +
+                    " watched on " +
+                    lit_str(sat::Lit{static_cast<int>(lx)}) +
+                    " which is not one of its watched literals");
+        continue;
+      }
+      if (++ex->second > 1) {
+        rep.add(CheckId::SatWatchBijection,
+                "clause ref " + std::to_string(w.cref) +
+                    " watched more than once on " +
+                    lit_str(sat::Lit{static_cast<int>(lx)}));
+      }
+      bool blocker_in_clause = false;
+      for (std::uint32_t i = 0; i < it->second; ++i) {
+        if (arena.lit(w.cref, i) == w.blocker) blocker_in_clause = true;
+      }
+      if (!blocker_in_clause) {
+        rep.add(CheckId::SatWatchBijection,
+                "watcher blocker " + lit_str(w.blocker) +
+                    " is not a literal of clause ref " +
+                    std::to_string(w.cref));
+      }
+    }
+  }
+  for (const auto& [key, count] : expected) {
+    if (count == 0) {
+      rep.add(CheckId::SatWatchBijection,
+              "clause ref " + std::to_string(key.second) +
+                  " missing from the watch list of " +
+                  lit_str(sat::Lit{static_cast<int>(key.first)}));
+    }
+  }
+
+  // --- SatBinaryWatch: binary clauses <-> binary watch lists. ------------
+  std::map<std::pair<std::uint32_t, sat::ClauseRef>, int> bin_expected;
+  for (const auto& [cr, sz] : refs) {
+    if (sz != 2) continue;
+    bin_expected[{static_cast<std::uint32_t>((~arena.lit(cr, 0)).x), cr}] = 0;
+    bin_expected[{static_cast<std::uint32_t>((~arena.lit(cr, 1)).x), cr}] = 0;
+  }
+  for (std::uint32_t lx = 0; lx < solver.bin_watches_.size(); ++lx) {
+    for (const sat::Solver::BinWatcher& w : solver.bin_watches_[lx]) {
+      const auto it = refs.find(w.cref);
+      if (it == refs.end() || it->second != 2) {
+        rep.add(CheckId::SatBinaryWatch,
+                "binary watch list of " +
+                    lit_str(sat::Lit{static_cast<int>(lx)}) +
+                    " holds non-binary or unregistered clause ref " +
+                    std::to_string(w.cref));
+        continue;
+      }
+      const auto ex = bin_expected.find({lx, w.cref});
+      if (ex == bin_expected.end()) {
+        rep.add(CheckId::SatBinaryWatch,
+                "binary clause ref " + std::to_string(w.cref) +
+                    " watched on " + lit_str(sat::Lit{static_cast<int>(lx)}) +
+                    " which does not falsify either of its literals");
+        continue;
+      }
+      if (++ex->second > 1) {
+        rep.add(CheckId::SatBinaryWatch,
+                "binary clause ref " + std::to_string(w.cref) +
+                    " watched more than once on " +
+                    lit_str(sat::Lit{static_cast<int>(lx)}));
+        continue;
+      }
+      // The implied literal must be the clause literal the watch does not
+      // falsify — a stale `other` propagates the wrong fact.
+      const sat::Lit falsified{~sat::Lit{static_cast<int>(lx)}};
+      const sat::Lit c0 = arena.lit(w.cref, 0);
+      const sat::Lit c1 = arena.lit(w.cref, 1);
+      const sat::Lit other = (c0 == falsified) ? c1 : c0;
+      if (w.other != other) {
+        rep.add(CheckId::SatBinaryWatch,
+                "binary watcher of clause ref " + std::to_string(w.cref) +
+                    " implies " + lit_str(w.other) + " instead of " +
+                    lit_str(other));
+      }
+    }
+  }
+  for (const auto& [key, count] : bin_expected) {
+    if (count == 0) {
+      rep.add(CheckId::SatBinaryWatch,
+              "binary clause ref " + std::to_string(key.second) +
+                  " missing from the binary watch list of " +
+                  lit_str(sat::Lit{static_cast<int>(key.first)}));
+    }
+  }
+  return rep;
+}
+
+}  // namespace tz

@@ -36,6 +36,9 @@ std::string_view to_string(CheckId id) {
     case CheckId::CampShardRows: return "camp-shard-rows";
     case CheckId::CampMergeDuplicate: return "camp-merge-duplicate";
     case CheckId::CampMergeMissing: return "camp-merge-missing";
+    case CheckId::SatArenaBounds: return "sat-arena-bounds";
+    case CheckId::SatWatchBijection: return "sat-watch-bijection";
+    case CheckId::SatBinaryWatch: return "sat-binary-watch";
   }
   return "unknown-check";
 }

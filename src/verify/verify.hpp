@@ -78,6 +78,10 @@ enum class CheckId : std::uint8_t {
   CampShardRows,      ///< A shard checkpoint file is not append-consistent.
   CampMergeDuplicate, ///< Merged artifact carries a job id more than once.
   CampMergeMissing,   ///< Merged artifact is missing an expanded job id.
+  // SatChecker
+  SatArenaBounds,     ///< Clause ref/header out of arena bounds or relocated.
+  SatWatchBijection,  ///< Long clause <-> watcher lists not a 2:1 bijection.
+  SatBinaryWatch,     ///< Binary watch entry inconsistent with its clause.
 };
 
 /// Stable kebab-case id, e.g. "net-dangling-fanin".
@@ -206,6 +210,23 @@ struct CampaignView {
 class CampaignChecker {
  public:
   static VerifyReport run(const CampaignView& view);
+};
+
+namespace sat {
+class Solver;
+}  // namespace sat
+
+/// Validates the arena SAT solver's clause storage against its watch
+/// structures (sat/solver.hpp): every registered clause ref points at an
+/// in-bounds, non-relocated arena header whose literals name real variables
+/// (SatArenaBounds); every long clause is watched exactly once on each of
+/// its first two literals and no watcher points at an unregistered clause
+/// (SatWatchBijection); and every binary clause appears in exactly the two
+/// binary watch lists that imply its other literal (SatBinaryWatch). The
+/// incremental miter runs this at check() boundaries under TZ_CHECK.
+class SatChecker {
+ public:
+  static VerifyReport run(const sat::Solver& solver);
 };
 
 /// Validates a NodeValues matrix's layout bookkeeping against its plan

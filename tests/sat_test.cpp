@@ -1,10 +1,15 @@
 // Tests for the CDCL solver, Tseitin encoding and equivalence checking.
+#include <cmath>
 #include <cstdint>
 #include <gtest/gtest.h>
 
+#include "core/ht_library.hpp"
+#include "core/trigger_prob.hpp"
 #include "gen/iscas.hpp"
 #include "gen/random_circuit.hpp"
 #include "sat/equivalence.hpp"
+#include "sat/exact_pft.hpp"
+#include "sat/miter.hpp"
 #include "sat/solver.hpp"
 #include "sat/tseitin.hpp"
 #include "sim/patterns.hpp"
@@ -239,6 +244,197 @@ TEST_P(MutationCheck, MutantsAreDistinguishedOrEquivalent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MutationCheck,
                          ::testing::Values(9, 18, 27, 36, 45, 54, 63, 72));
+
+TEST(Equivalence, SequentialWitnessReplaysThroughSimulator) {
+  // Two sequential circuits that agree for dff=0 but differ for dff=1 on
+  // some input: the witness must carry the DFF assignment, and replaying
+  // (counterexample, dff_values) through the simulator must show the two
+  // outputs differing at failing_output.
+  Netlist x;
+  {
+    const NodeId a = x.add_input("a");
+    const NodeId q = x.add_gate(GateType::Dff, "q", {a});
+    x.mark_output(x.add_gate(GateType::And, "o", {a, q}));
+  }
+  Netlist y;
+  {
+    const NodeId a = y.add_input("a");
+    const NodeId q = y.add_gate(GateType::Dff, "q", {a});
+    y.mark_output(y.add_gate(GateType::Or, "o", {a, q}));
+  }
+  const auto r = sat::check_equivalence(x, y);
+  ASSERT_TRUE(r.decided);
+  ASSERT_FALSE(r.equivalent);
+  ASSERT_EQ(r.counterexample.size(), 1u);
+  ASSERT_EQ(r.dff_values.size(), 1u);
+  ASSERT_EQ(r.failing_output, 0);
+
+  PatternSet ps(1, 1);
+  ps.set(0, 0, r.counterexample[0]);
+  const std::vector<std::uint64_t> state = {r.dff_values[0] ? ~0ULL : 0ULL};
+  const NodeValues vx = BitSimulator(x).run(ps, &state);
+  const NodeValues vy = BitSimulator(y).run(ps, &state);
+  EXPECT_NE(vx.bit(x.outputs()[static_cast<std::size_t>(r.failing_output)], 0),
+            vy.bit(y.outputs()[static_cast<std::size_t>(r.failing_output)], 0));
+}
+
+TEST(Equivalence, MiterOptionMatrixAgrees) {
+  // The prepass and structural-matching accelerations must never change a
+  // verdict, only the route to it.
+  const Netlist nl = make_benchmark("c880");
+  Netlist mutant = nl;
+  for (NodeId id = 0; id < mutant.raw_size(); ++id) {
+    if (mutant.is_alive(id) && mutant.node(id).type == GateType::And) {
+      mutant.retype(id, GateType::Nand);
+      break;
+    }
+  }
+  for (const bool prepass : {false, true}) {
+    for (const bool structural : {false, true}) {
+      sat::MiterOptions opts;
+      opts.prepass = prepass;
+      opts.structural_match = structural;
+      sat::IncrementalMiter same(nl, nl, opts);
+      EXPECT_TRUE(same.check().equivalent)
+          << "prepass=" << prepass << " structural=" << structural;
+      sat::IncrementalMiter diff(nl, mutant, opts);
+      EXPECT_FALSE(diff.check().equivalent)
+          << "prepass=" << prepass << " structural=" << structural;
+    }
+  }
+}
+
+TEST(Equivalence, StructuralMatchingShortCircuitsSelfMiter) {
+  const Netlist nl = make_benchmark("c432");
+  sat::IncrementalMiter m(nl, nl, {});
+  ASSERT_TRUE(m.check().equivalent);
+  const sat::MiterStats& st = m.stats();
+  EXPECT_EQ(st.outputs_shared, st.outputs_total);
+  EXPECT_EQ(st.sat_calls, 0) << "self-miter should be free by sharing";
+}
+
+TEST(ExactPft, MatchesAnalyticOnIndependentTrigger) {
+  // AND over k independent PIs: SignalProb's independence assumption is
+  // exact here, so the SAT-exact q must equal 2^-k bit-for-bit and the Pft
+  // must match analytic_pft on the same saturating-counter tail.
+  constexpr int kWidth = 6;
+  Netlist nl;
+  std::vector<NodeId> pis;
+  for (int i = 0; i < kWidth; ++i) {
+    pis.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  const NodeId trig = nl.add_gate(GateType::And, "trig", pis);
+  nl.mark_output(trig);
+
+  const std::size_t test_len = 100000;
+  const int counter_bits = 4;
+  const auto res = sat::exact_trigger_pft(nl, trig, test_len, counter_bits);
+  ASSERT_TRUE(res.decided);
+  EXPECT_EQ(res.support_width, kWidth);
+  EXPECT_EQ(res.models, 1u);
+  EXPECT_DOUBLE_EQ(res.q, std::ldexp(1.0, -kWidth));
+  EXPECT_NEAR(res.pft, analytic_pft(res.q, test_len, counter_bits), 1e-12);
+}
+
+TEST(ExactPft, SeesThroughReconvergence) {
+  // trig = AND(AND(a,b), AND(a,c)): treating the two AND cones as
+  // independent (the SignalProb estimate) gives 1/4 * 1/4 = 1/16, but the
+  // shared literal a makes the true probability P(a & b & c) = 1/8. The
+  // SAT-exact count must return the correlated value.
+  Netlist nl;
+  const NodeId a = nl.add_input("a");
+  const NodeId b = nl.add_input("b");
+  const NodeId c = nl.add_input("c");
+  const NodeId l = nl.add_gate(GateType::And, "l", {a, b});
+  const NodeId r = nl.add_gate(GateType::And, "r", {a, c});
+  const NodeId trig = nl.add_gate(GateType::And, "trig", {l, r});
+  nl.mark_output(trig);
+
+  const auto res = sat::exact_trigger_pft(nl, trig, 1000, 0);
+  ASSERT_TRUE(res.decided);
+  EXPECT_DOUBLE_EQ(res.q, 1.0 / 8.0);
+
+  // Contradictory reconvergence: AND(a, NOT a) never fires — exact q is 0
+  // where an independence model would report 1/4.
+  Netlist dead;
+  const NodeId da = dead.add_input("a");
+  const NodeId dn = dead.add_gate(GateType::Not, "n", {da});
+  const NodeId dt = dead.add_gate(GateType::And, "trig", {da, dn});
+  dead.mark_output(dt);
+  const auto zero = sat::exact_trigger_pft(dead, dt, 1000, 0);
+  ASSERT_TRUE(zero.decided);
+  EXPECT_EQ(zero.models, 0u);
+  EXPECT_EQ(zero.q, 0.0);
+  EXPECT_EQ(zero.pft, 0.0);
+}
+
+TEST(ExactPft, AgreesWithExhaustiveSimulationOnC17Trojan) {
+  // Insert the counter HT into c17 and cross-check the SAT-exact per-cycle
+  // trigger probability against exhaustive simulation of the trigger net
+  // over all 2^5 input vectors.
+  Netlist nl = make_benchmark("c17");
+  const NodeId n1 = nl.find("10");
+  const NodeId n2 = nl.find("16");
+  ASSERT_NE(n1, kNoNode);
+  ASSERT_NE(n2, kNoNode);
+  // Victim must lie outside the trigger cone: payload rewiring inside the
+  // cone would pull the counter DFFs into the trigger's support and change
+  // what q means. Net 19 feeds only output 23, disjoint from 10 and 16.
+  const NodeId victim = nl.find("19");
+  ASSERT_NE(victim, kNoNode);
+  const std::vector<NodeId> rare = {n1, n2};
+  const InsertedHT ht = build_trojan(nl, counter_trojan(2, 2), rare, victim);
+  ASSERT_NE(ht.trigger_in, kNoNode);
+
+  const std::size_t test_len = 4096;
+  const auto res = sat::exact_trigger_pft(nl, ht.trigger_in, test_len, 2);
+  ASSERT_TRUE(res.decided);
+
+  const std::size_t num_pis = nl.inputs().size();
+  ASSERT_LE(num_pis, 12u);
+  const PatternSet ps = exhaustive_patterns(num_pis);
+  // The trigger cone may also read DFFs (the counter's own bits do not feed
+  // the trigger AND, but be explicit: zero state, like the cone's pinning).
+  const std::vector<std::uint64_t> state(nl.dffs().size(), 0);
+  const NodeValues vals = BitSimulator(nl).run(ps, &state);
+  std::size_t fires = 0;
+  for (std::size_t p = 0; p < ps.num_patterns(); ++p) {
+    fires += vals.bit(ht.trigger_in, p) ? 1 : 0;
+  }
+  // The cone's support excludes PIs the trigger does not read; q is still
+  // the same fraction because the missing PIs halve both count and space.
+  const double q_sim =
+      static_cast<double>(fires) / static_cast<double>(ps.num_patterns());
+  EXPECT_DOUBLE_EQ(res.q, q_sim);
+  EXPECT_NEAR(res.pft, analytic_pft(q_sim, test_len, 2), 1e-12);
+}
+
+TEST(ExactPft, WideSupportIsUndecidedNotWrong) {
+  RandomCircuitSpec spec;
+  spec.seed = 5;
+  spec.num_inputs = 40;
+  spec.num_gates = 120;
+  const Netlist nl = random_circuit(spec);
+  // Pick an output whose cone reads more PIs than the cap allows.
+  sat::ExactPftOptions opts;
+  opts.max_support = 4;
+  NodeId wide = kNoNode;
+  for (const NodeId o : nl.outputs()) {
+    const NodeId roots[1] = {o};
+    int support = 0;
+    for (const NodeId id : nl.fanin_cone(roots)) {
+      const GateType t = nl.node(id).type;
+      support += (t == GateType::Input || t == GateType::Dff) ? 1 : 0;
+    }
+    if (support > opts.max_support) {
+      wide = o;
+      break;
+    }
+  }
+  ASSERT_NE(wide, kNoNode);
+  const auto res = sat::exact_trigger_pft(nl, wide, 1000, 2, opts);
+  EXPECT_FALSE(res.decided);
+}
 
 }  // namespace
 }  // namespace tz

@@ -18,6 +18,7 @@
 #include "core/report.hpp"
 #include "gen/iscas.hpp"
 #include "netlist/bench_io.hpp"
+#include "sat/solver.hpp"
 #include "sim/simulator.hpp"
 #include "testutil.hpp"
 #include "verify/verify.hpp"
@@ -61,6 +62,22 @@ struct PlanTestPeer {
     return p.output_slots_;
   }
 };
+
+namespace sat {
+
+struct SatTestPeer {
+  static ClauseArena& arena(Solver& s) { return s.arena_; }
+  static std::vector<ClauseRef>& clauses(Solver& s) { return s.clauses_; }
+  static std::vector<ClauseRef>& learnts(Solver& s) { return s.learnts_; }
+  static std::vector<std::vector<Solver::Watcher>>& watches(Solver& s) {
+    return s.watches_;
+  }
+  static std::vector<std::vector<Solver::BinWatcher>>& bin_watches(Solver& s) {
+    return s.bin_watches_;
+  }
+};
+
+}  // namespace sat
 
 namespace {
 
@@ -477,6 +494,98 @@ TEST(FaultPackChecked, EngineBatchesPassUnderCheck) {
 }
 
 // ---- structured JSON report -------------------------------------------------
+
+/// A small solver with one ternary and one binary clause, plus a solved
+/// pigeonhole instance for the "battle-worn" clean check (reduce_db and
+/// arena GC have both had a chance to run by then).
+sat::Solver small_sat_fixture() {
+  sat::Solver s;
+  const sat::Var a = s.new_var();
+  const sat::Var b = s.new_var();
+  const sat::Var c = s.new_var();
+  s.add_ternary(sat::Lit::make(a), sat::Lit::make(b), sat::Lit::make(c));
+  s.add_binary(~sat::Lit::make(a), ~sat::Lit::make(b));
+  return s;
+}
+
+TEST(SatCheckerCorrupt, CleanSolverPasses) {
+  sat::Solver s = small_sat_fixture();
+  EXPECT_TRUE(SatChecker::run(s).ok());
+
+  // After a learning-heavy solve the watch structures have been rebuilt by
+  // propagation swaps, clause-DB reduction and possibly arena GC.
+  sat::Solver hard;
+  std::vector<std::vector<sat::Var>> p(7, std::vector<sat::Var>(6));
+  for (auto& row : p) {
+    for (sat::Var& v : row) v = hard.new_var();
+  }
+  for (int i = 0; i < 7; ++i) {
+    std::vector<sat::Lit> cl;
+    for (int j = 0; j < 6; ++j) cl.push_back(sat::Lit::make(p[i][j]));
+    hard.add_clause(cl);
+  }
+  for (int j = 0; j < 6; ++j) {
+    for (int i = 0; i < 7; ++i) {
+      for (int k = i + 1; k < 7; ++k) {
+        hard.add_binary(~sat::Lit::make(p[i][j]), ~sat::Lit::make(p[k][j]));
+      }
+    }
+  }
+  EXPECT_EQ(hard.solve(), sat::SolveResult::Unsat);
+  const VerifyReport r = SatChecker::run(hard);
+  EXPECT_TRUE(r.ok()) << r.format();
+}
+
+TEST(SatCheckerCorrupt, ArenaBounds) {
+  sat::Solver s = small_sat_fixture();
+  sat::SatTestPeer::clauses(s).push_back(
+      sat::SatTestPeer::arena(s).size_words() + 17);
+  const VerifyReport r = SatChecker::run(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(CheckId::SatArenaBounds)) << r.format();
+}
+
+TEST(SatCheckerCorrupt, WatchBijection) {
+  // Drop one watcher of the ternary clause: a propagation on that literal
+  // will silently skip the clause.
+  sat::Solver s = small_sat_fixture();
+  auto& watches = sat::SatTestPeer::watches(s);
+  for (auto& list : watches) {
+    if (!list.empty()) {
+      list.clear();
+      break;
+    }
+  }
+  const VerifyReport r = SatChecker::run(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(CheckId::SatWatchBijection)) << r.format();
+
+  // Blocker flavor: a blocker that is not even a literal of the clause.
+  sat::Solver s2 = small_sat_fixture();
+  for (auto& list : sat::SatTestPeer::watches(s2)) {
+    if (!list.empty()) {
+      list[0].blocker = sat::Lit::make(s2.new_var());
+      break;
+    }
+  }
+  const VerifyReport r2 = SatChecker::run(s2);
+  EXPECT_TRUE(r2.has(CheckId::SatWatchBijection)) << r2.format();
+}
+
+TEST(SatCheckerCorrupt, BinaryWatch) {
+  // Flip the implied literal of one binary watcher: propagation would then
+  // enqueue the falsified literal instead of the implied one.
+  sat::Solver s = small_sat_fixture();
+  for (auto& list : sat::SatTestPeer::bin_watches(s)) {
+    if (!list.empty()) {
+      list[0].other = ~list[0].other;
+      break;
+    }
+  }
+  const VerifyReport r = SatChecker::run(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(CheckId::SatBinaryWatch)) << r.format();
+}
 
 TEST(VerifyReportJson, GoldenOutput) {
   // tz_check --json embeds to_json() verbatim; the exact shape (stable
